@@ -1,0 +1,89 @@
+(* beltlang: run a Beltlang program (from a file or the bundled suite)
+   on a simulated heap under any Beltway collector configuration. *)
+
+let run config_str heap_kb source_file builtin list_programs show_stats =
+  if list_programs then begin
+    List.iter
+      (fun (p : Beltlang.Programs.t) ->
+        Printf.printf "%-12s %s\n" p.name p.description)
+      Beltlang.Programs.all;
+    exit 0
+  end;
+  match Beltway.Config.parse config_str with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 2
+  | Ok config ->
+    let source =
+      match (builtin, source_file) with
+      | Some name, _ -> (
+        match Beltlang.Programs.by_name name with
+        | Some p -> p.Beltlang.Programs.source
+        | None ->
+          Printf.eprintf "error: no bundled program %S (try --list)\n" name;
+          exit 2)
+      | None, Some file -> (
+        try In_channel.with_open_text file In_channel.input_all
+        with Sys_error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 2)
+      | None, None ->
+        Printf.eprintf "error: give a FILE or --program NAME (see --list)\n";
+        exit 2
+    in
+    let gc = Beltway.Gc.create ~config ~heap_bytes:(heap_kb * 1024) () in
+    let interp = Beltlang.Interp.create gc in
+    let status =
+      try
+        Beltlang.Interp.run_string interp source;
+        0
+      with
+      | Beltlang.Sexp.Parse_error e | Beltlang.Ast.Compile_error e ->
+        Printf.eprintf "syntax error: %s\n" e;
+        2
+      | Beltlang.Interp.Runtime_error e ->
+        Printf.eprintf "runtime error: %s\n" e;
+        1
+      | Beltway.Gc.Out_of_memory e ->
+        Printf.eprintf "out of memory: %s\n" e;
+        3
+    in
+    print_string (Beltlang.Interp.output interp);
+    if show_stats then
+      Format.eprintf "[gc %a] %a@." Beltway.Config.pp config Beltway.Gc_stats.pp_summary
+        (Beltway.Gc.stats gc);
+    exit status
+
+open Cmdliner
+
+let config_arg =
+  let doc = "Collector configuration (as for beltway-run)." in
+  Arg.(value & opt string "25.25.100" & info [ "g"; "gc" ] ~docv:"CONFIG" ~doc)
+
+let heap_arg =
+  let doc = "Heap size in KiB." in
+  Arg.(value & opt int 512 & info [ "H"; "heap-kb" ] ~docv:"KB" ~doc)
+
+let file_arg =
+  let doc = "Beltlang source file." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let builtin_arg =
+  let doc = "Run a bundled program instead of a file." in
+  Arg.(value & opt (some string) None & info [ "p"; "program" ] ~docv:"NAME" ~doc)
+
+let list_arg =
+  let doc = "List bundled programs." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let stats_arg =
+  let doc = "Print collector statistics to stderr." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let cmd =
+  let doc = "run a Beltlang program on a Beltway-collected heap" in
+  Cmd.v
+    (Cmd.info "beltlang" ~doc)
+    Term.(const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg $ stats_arg)
+
+let () = Cmd.eval cmd |> exit

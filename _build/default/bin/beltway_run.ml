@@ -1,0 +1,101 @@
+(* beltway-run: run one workload under one collector configuration and
+   report collector statistics — the reproduction's analogue of picking
+   a GC on the Jikes RVM command line (the paper's headline interface:
+   "Beltway configurations, selected by command line options"). *)
+
+let run config_str bench_name heap_kb verify_heap quiet dump =
+  match Beltway.Config.parse config_str with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 2
+  | Ok config -> (
+    match Beltway_workload.Spec.by_name bench_name with
+    | None ->
+      Printf.eprintf "error: unknown benchmark %S (have: %s)\n" bench_name
+        (String.concat ", "
+           (List.map (fun b -> b.Beltway_workload.Spec.name) Beltway_workload.Spec.all));
+      exit 2
+    | Some bench ->
+      let gc =
+        Beltway.Gc.create ~frame_log_words:Beltway_sim.Runner.frame_log_words ~config
+          ~heap_bytes:(heap_kb * 1024) ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        try
+          bench.Beltway_workload.Spec.run gc;
+          Ok ()
+        with Beltway.Gc.Out_of_memory m -> Error m
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let stats = Beltway.Gc.stats gc in
+      let model = Beltway_sim.Cost_model.default in
+      (match outcome with
+      | Ok () ->
+        if not quiet then begin
+          Format.printf "benchmark:   %s (%s)@." bench.Beltway_workload.Spec.name
+            bench.Beltway_workload.Spec.description;
+          Format.printf "collector:   %a@." Beltway.Config.pp config;
+          Format.printf "heap:        %d KB (%d frames of %d KB)@."
+            (Beltway.Gc.heap_bytes gc / 1024)
+            (Beltway.Gc.heap_frames gc)
+            (Beltway.Gc.frame_bytes gc / 1024);
+          Format.printf "%a@." Beltway.Gc_stats.pp_summary stats;
+          Format.printf "model time:  total %.3e units (GC %.3e, mutator %.3e — %.1f%% in GC)@."
+            (Beltway_sim.Cost_model.total_time model stats)
+            (Beltway_sim.Cost_model.gc_time model stats)
+            (Beltway_sim.Cost_model.mutator_time model stats)
+            (100.0
+            *. Beltway_sim.Cost_model.gc_time model stats
+            /. Float.max 1.0 (Beltway_sim.Cost_model.total_time model stats));
+          Format.printf "wall clock:  %.3fs (simulation)@." wall
+        end;
+        if dump then Format.printf "%a@." Beltway.Gc.pp_heap gc;
+        if verify_heap then begin
+          match Beltway.Verify.check gc with
+          | Ok () -> Format.printf "heap integrity: OK@."
+          | Error e ->
+            Format.printf "heap integrity: FAILED: %s@." e;
+            exit 1
+        end
+      | Error m ->
+        Format.printf "OUT OF MEMORY after %d collections: %s@."
+          (Beltway.Gc_stats.gcs stats) m;
+        exit 3))
+
+open Cmdliner
+
+let config_arg =
+  let doc =
+    "Collector configuration: ss, appel, appel3, fixed:N, ofm:N, of:N, X.Y, \
+     X.Y.100, with +nofilter/+ttd:N/+remtrig:N/+halfreserve option suffixes."
+  in
+  Arg.(value & opt string "25.25.100" & info [ "g"; "gc" ] ~docv:"CONFIG" ~doc)
+
+let bench_arg =
+  let doc = "Benchmark: jess, raytrace, db, javac, jack, pseudojbb." in
+  Arg.(value & opt string "jess" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let heap_arg =
+  let doc = "Heap size in KiB." in
+  Arg.(value & opt int 1024 & info [ "H"; "heap-kb" ] ~docv:"KB" ~doc)
+
+let verify_arg =
+  let doc = "Run the full heap-integrity checker afterwards." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let quiet_arg =
+  let doc = "Suppress the statistics report." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let dump_arg =
+  let doc = "Print the final belt/increment structure." in
+  Arg.(value & flag & info [ "dump" ] ~doc)
+
+let cmd =
+  let doc = "run a synthetic benchmark under a Beltway collector configuration" in
+  Cmd.v
+    (Cmd.info "beltway-run" ~doc)
+    Term.(const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg $ dump_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,51 @@
+(* beltway-experiments: regenerate any of the paper's tables/figures
+   by id, or all of them. *)
+
+let run ids full list_ids verbose csv =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  Beltway_sim.Figures.csv_output := csv;
+  if list_ids then begin
+    List.iter print_endline Beltway_sim.Figures.all_ids;
+    exit 0
+  end;
+  let ids = if ids = [] then Beltway_sim.Figures.all_ids else ids in
+  List.iter
+    (fun id ->
+      try Beltway_sim.Figures.run ~id ~full
+      with Invalid_argument e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2)
+    ids
+
+open Cmdliner
+
+let ids_arg =
+  let doc = "Experiment ids (table1, fig1, fig5..fig11); default: all." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let full_arg =
+  let doc = "Use the paper's 33-point heap ladder instead of 9 points." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let list_arg =
+  let doc = "List experiment ids." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let verbose_arg =
+  let doc = "Log progress (minimum-heap searches, sweeps)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let csv_arg =
+  let doc = "Also emit each table as CSV (for plotting)." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the Beltway paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "beltway-experiments" ~doc)
+    Term.(const run $ ids_arg $ full_arg $ list_arg $ verbose_arg $ csv_arg)
+
+let () = Cmd.eval cmd |> exit

@@ -1,0 +1,1 @@
+examples/collector_zoo.ml: Beltway Beltway_sim Beltway_util Beltway_workload List Printf

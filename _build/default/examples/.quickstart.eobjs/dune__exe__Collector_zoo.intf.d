@@ -1,0 +1,1 @@
+examples/collector_zoo.mli:

@@ -1,0 +1,1 @@
+examples/completeness.ml: Beltway Beltway_heap Format Roots Value

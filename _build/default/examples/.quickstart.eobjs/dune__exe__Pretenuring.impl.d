@@ -1,0 +1,1 @@
+examples/pretenuring.ml: Array Beltway Beltway_heap Format Result Roots Value

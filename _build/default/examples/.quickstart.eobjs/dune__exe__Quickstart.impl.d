@@ -1,0 +1,1 @@
+examples/quickstart.ml: Beltway Beltway_heap Format Roots Value

@@ -1,0 +1,1 @@
+examples/responsiveness.ml: Beltlang Beltway Beltway_sim Beltway_util List Printf

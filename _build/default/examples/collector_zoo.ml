@@ -1,0 +1,64 @@
+(* The collector zoo: one workload, every collector family the Beltway
+   framework subsumes (paper S3.1) — semi-space, Appel generational,
+   three-generation, fixed-size nursery, older-first mix, older-first,
+   and the new Beltway X.X / X.X.100 — all selected by configuration
+   string, all running the same mutator on the same heap budget.
+
+   Run with: dune exec examples/collector_zoo.exe *)
+
+let configs =
+  [
+    ("ss", "semi-space (BSS)");
+    ("appel", "Appel generational (comparator)");
+    ("100.100", "Beltway-as-Appel (BA2)");
+    ("100.100.100", "three-generation Appel");
+    ("fixed:25", "fixed 25% nursery generational");
+    ("ofm:25", "older-first mix (BOFM)");
+    ("of:25", "older-first (BOF)");
+    ("25.25", "Beltway 25.25 (incomplete)");
+    ("25.25.100", "Beltway 25.25.100 (complete)");
+    ("25.25.100+cards", "... with a card-table barrier");
+    ("25.25.100+los:256", "... with a large object space");
+  ]
+
+let () =
+  let bench = Beltway_workload.Spec.jess in
+  let heap_kb = 768 in
+  let model = Beltway_sim.Cost_model.default in
+  let table =
+    Beltway_util.Table.create
+      ~title:
+        (Printf.sprintf "collector zoo: %s in a %d KB heap" bench.Beltway_workload.Spec.name
+           heap_kb)
+      ~columns:
+        [ "config"; "family"; "GCs"; "copied KB"; "remset"; "GC time"; "total time"; "ok" ]
+  in
+  List.iter
+    (fun (cs, family) ->
+      let config =
+        match Beltway.Config.parse cs with Ok c -> c | Error e -> failwith e
+      in
+      let gc = Beltway.Gc.create ~config ~heap_bytes:(heap_kb * 1024) () in
+      let ok =
+        try
+          bench.Beltway_workload.Spec.run gc;
+          true
+        with Beltway.Gc.Out_of_memory _ -> false
+      in
+      let stats = Beltway.Gc.stats gc in
+      Beltway_util.Table.add_row table
+        [
+          cs;
+          family;
+          string_of_int (Beltway.Gc_stats.gcs stats);
+          string_of_int (Beltway.Gc_stats.total_copied_words stats * 4 / 1024);
+          string_of_int stats.Beltway.Gc_stats.barrier_slow;
+          Printf.sprintf "%.2e" (Beltway_sim.Cost_model.gc_time model stats);
+          Printf.sprintf "%.2e" (Beltway_sim.Cost_model.total_time model stats);
+          (if ok then "yes" else "OOM");
+        ])
+    configs;
+  Beltway_util.Table.print table;
+  print_endline
+    "Every row is the same framework: belts + increments + promotion policy,\n\
+     selected by the configuration string (paper section 3.1)."

@@ -1,0 +1,1 @@
+lib/beltlang/ast.ml: Beltway_util Format Hashtbl List Sexp String

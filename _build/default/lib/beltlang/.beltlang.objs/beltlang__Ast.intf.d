@@ -1,0 +1,1 @@
+lib/beltlang/ast.mli: Sexp

@@ -1,0 +1,1 @@
+lib/beltlang/interp.ml: Array Ast Beltway Beltway_util Buffer Format Fun Hashtbl List Option Roots Sexp Type_registry Value

@@ -1,0 +1,1 @@
+lib/beltlang/interp.mli: Ast Beltway Value

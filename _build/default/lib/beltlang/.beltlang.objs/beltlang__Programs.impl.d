@@ -1,0 +1,1 @@
+lib/beltlang/programs.ml: List

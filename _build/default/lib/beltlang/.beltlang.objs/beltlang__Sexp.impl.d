@@ -1,0 +1,1 @@
+lib/beltlang/sexp.ml: Format List Printf String

@@ -1,0 +1,42 @@
+(** The Beltlang interpreter over the Beltway heap.
+
+    Every runtime value is a tagged word ([Value.t]); every compound
+    value — pairs, vectors, closures, environment frames — is an
+    object on the simulated heap, allocated through the collector and
+    mutated through the write barrier. The interpreter roots its
+    working set on the shadow stack with mark/release discipline, so
+    it is correct under every collector configuration; this is the
+    "interpreter heap" reproduction strategy: a real language runtime
+    whose memory behaviour the collectors manage.
+
+    Heap layout: pairs are 2-slot objects; vectors are n-slot objects;
+    closures are [|env; lambda-index|]; environment frames are
+    [|parent; slot...|]. Booleans are the immediates 1/0; the empty
+    list is the null reference. *)
+
+type t
+
+exception Runtime_error of string
+
+val create : Beltway.Gc.t -> t
+(** An interpreter instance over the given heap. Multiple programs may
+    be run in sequence; globals persist across [run] calls. *)
+
+val gc : t -> Beltway.Gc.t
+
+val run : t -> Ast.program -> unit
+(** Execute all top-level forms.
+    @raise Runtime_error on dynamic type errors or arity mismatches.
+    @raise Beltway.Gc.Out_of_memory when the heap is too small. *)
+
+val run_string : t -> string -> unit
+(** Parse, compile and run.
+    @raise Sexp.Parse_error / Ast.Compile_error accordingly. *)
+
+val output : t -> string
+(** Everything printed by [print] so far. *)
+
+val clear_output : t -> unit
+
+val global : t -> string -> Value.t option
+(** Current value of a top-level definition (for tests). *)

@@ -1,0 +1,277 @@
+type t = {
+  name : string;
+  source : string;
+  expected_output : string option;
+  description : string;
+}
+
+let gcbench =
+  {
+    name = "gcbench";
+    description =
+      "Boehm's GCBench (scaled): temporary binary trees built top-down and \
+       bottom-up under a long-lived tree";
+    expected_output = Some "2047\n31\n31\n127\n127\n511\n511\n2047\n";
+    source =
+      {|
+;; A tree node is (cons left right); a leaf is (cons nil nil).
+(define (make-tree d)
+  (if (= d 0)
+      (cons nil nil)
+      (cons (make-tree (- d 1)) (make-tree (- d 1)))))
+
+;; Top-down construction mutates freshly allocated nodes: the
+;; pointer-store pattern GCBench uses to stress write barriers.
+(define (populate d node)
+  (if (> d 0)
+      (begin
+        (set-car! node (cons nil nil))
+        (set-cdr! node (cons nil nil))
+        (populate (- d 1) (car node))
+        (populate (- d 1) (cdr node)))
+      nil))
+
+(define (tree-count node)
+  (if (null? node)
+      0
+      (+ 1 (+ (tree-count (car node)) (tree-count (cdr node))))))
+
+(define long-lived (make-tree 10))
+(print (tree-count long-lived))
+
+(define (stretch d iters)
+  (while (> iters 0)
+    (begin
+      ;; bottom-up temporary
+      (print (tree-count (make-tree d)))
+      ;; top-down temporary
+      (let ((n (cons nil nil)))
+        (begin
+          (populate d n)
+          (print (tree-count n))))
+      (set! iters (- iters 1)))))
+
+(stretch 4 1)
+(stretch 6 1)
+(stretch 8 1)
+
+;; the long-lived tree must have survived everything
+(print (tree-count long-lived))
+|};
+  }
+
+let nqueens =
+  {
+    name = "nqueens";
+    description = "8-queens solution count by list-based backtracking";
+    expected_output = Some "92\n";
+    source =
+      {|
+(define (abs x) (if (< x 0) (- 0 x) x))
+
+(define (safe? q qs d)
+  (if (null? qs)
+      #t
+      (and (not (= q (car qs)))
+           (and (not (= (abs (- q (car qs))) d))
+                (safe? q (cdr qs) (+ d 1))))))
+
+(define (solve n row placed)
+  (if (= row n)
+      1
+      (let ((count 0) (q 0))
+        (begin
+          (while (< q n)
+            (begin
+              (if (safe? q placed 1)
+                  (set! count (+ count (solve n (+ row 1) (cons q placed))))
+                  nil)
+              (set! q (+ q 1))))
+          count))))
+
+(print (solve 8 0 nil))
+|};
+  }
+
+let list_sort =
+  {
+    name = "list-sort";
+    description = "merge sort over an LCG-generated 400-element list";
+    expected_output = Some "12488\n12488\n1\n";
+    source =
+      {|
+(define seed 42)
+(define (next-rand)
+  (begin
+    (set! seed (mod (+ (* seed 1103515245) 12345) 2147483648))
+    (mod seed 100000)))
+
+(define (gen n)
+  (if (= n 0) nil (cons (next-rand) (gen (- n 1)))))
+
+(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+
+(define (merge a b)
+  (if (null? a) b
+      (if (null? b) a
+          (if (<= (car a) (car b))
+              (cons (car a) (merge (cdr a) b))
+              (cons (car b) (merge a (cdr b)))))))
+
+(define (split l)
+  (if (or (null? l) (null? (cdr l)))
+      (cons l nil)
+      (let ((rest (split (cdr (cdr l)))))
+        (cons (cons (car l) (car rest))
+              (cons (car (cdr l)) (cdr rest))))))
+
+(define (msort l)
+  (if (or (null? l) (null? (cdr l)))
+      l
+      (let ((halves (split l)))
+        (merge (msort (car halves)) (msort (cdr halves))))))
+
+(define (sorted? l)
+  (if (or (null? l) (null? (cdr l)))
+      #t
+      (and (<= (car l) (car (cdr l))) (sorted? (cdr l)))))
+
+(define data (gen 400))
+(print (sum data))
+(define sorted (msort data))
+(print (sum sorted))
+(print (sorted? sorted))
+|};
+  }
+
+let queue_churn =
+  {
+    name = "queue-churn";
+    description =
+      "imperative bounded ring over a vector, cycled heavily: steady \
+       old-to-young stores";
+    expected_output = Some "20000\n64\n";
+    source =
+      {|
+(define ring (make-vector 64 nil))
+(define i 0)
+(define total 20000)
+
+(while (< i total)
+  (begin
+    ;; Each slot holds a small record (a 3-element list); storing it
+    ;; into the long-lived ring is an old-to-young pointer.
+    (vector-set! ring (mod i 64) (cons i (cons (* i 2) (cons (* i 3) nil))))
+    (set! i (+ i 1))))
+
+(print i)
+
+(define live 0)
+(define j 0)
+(while (< j 64)
+  (begin
+    (if (pair? (vector-ref ring j)) (set! live (+ live 1)) nil)
+    (set! j (+ j 1))))
+(print live)
+|};
+  }
+
+let tak =
+  {
+    name = "tak";
+    description = "the Takeuchi function: deep recursion, heavy frame churn";
+    expected_output = Some "7\n";
+    source =
+      {|
+(define (tak x y z)
+  (if (< y x)
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))
+      z))
+(print (tak 18 12 6))
+|};
+  }
+
+let prelude =
+  {|
+;; --- Beltlang prelude: list library ------------------------------
+(define (length l) (if (null? l) 0 (+ 1 (length (cdr l)))))
+(define (append a b) (if (null? a) b (cons (car a) (append (cdr a) b))))
+(define (reverse-onto l acc)
+  (if (null? l) acc (reverse-onto (cdr l) (cons (car l) acc))))
+(define (reverse l) (reverse-onto l nil))
+(define (map f l) (if (null? l) nil (cons (f (car l)) (map f (cdr l)))))
+(define (filter p l)
+  (if (null? l) nil
+      (if (p (car l))
+          (cons (car l) (filter p (cdr l)))
+          (filter p (cdr l)))))
+(define (foldl f acc l)
+  (if (null? l) acc (foldl f (f acc (car l)) (cdr l))))
+(define (iota-from a n) (if (= n 0) nil (cons a (iota-from (+ a 1) (- n 1)))))
+(define (iota n) (iota-from 0 n))
+(define (assq k l)
+  (if (null? l) nil
+      (if (eq? (car (car l)) k) (car l) (assq k (cdr l)))))
+(define (for-each f l)
+  (if (null? l) nil (begin (f (car l)) (for-each f (cdr l)))))
+;; ------------------------------------------------------------------
+|}
+
+let sieve =
+  {
+    name = "sieve";
+    description = "primes below 1000 by repeated closure-based list filtering";
+    expected_output = Some "168\n997\n";
+    source =
+      prelude
+      ^ {|
+(define (sieve l)
+  (if (null? l)
+      nil
+      (let ((p (car l)))
+        (cons p (sieve (filter (lambda (x) (not (= (mod x p) 0))) (cdr l)))))))
+
+(define primes (sieve (iota-from 2 998)))
+(print (length primes))
+(print (foldl (lambda (a b) (if (> a b) a b)) 0 primes))
+|};
+  }
+
+let dict =
+  {
+    name = "dict";
+    description = "association-list dictionary under insert/update/lookup load";
+    expected_output = Some "256\n510\n96\n";
+    source =
+      prelude
+      ^ {|
+;; an alist of (key . box) pairs; updates overwrite the box contents
+;; (old-to-young stores once the spine has aged)
+(define table nil)
+(define (insert! k v) (set! table (cons (cons k (cons v nil)) table)))
+(define (update! k v)
+  (let ((e (assq k table)))
+    (if (null? e) (insert! k v) (set-car! (cdr e) v))))
+(define (lookup k)
+  (let ((e (assq k table)))
+    (if (null? e) (- 0 1) (car (cdr e)))))
+
+;; build 256 entries
+(for-each (lambda (k) (insert! k k)) (iota 256))
+(print (length table))
+
+;; update every entry 8 times with fresh values
+(define round 0)
+(while (< round 8)
+  (begin
+    (for-each (lambda (k) (update! k (* k 2))) (iota 256))
+    (set! round (+ round 1))))
+(print (lookup 255))  ; 255 * 2 = 510
+(print (lookup 48))   ; 48 * 2 = 96
+|};
+  }
+
+let all = [ gcbench; nqueens; list_sort; queue_churn; tak; sieve; dict ]
+let by_name n = List.find_opt (fun p -> p.name = n) all

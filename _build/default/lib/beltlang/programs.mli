@@ -1,0 +1,52 @@
+(** Ready-made Beltlang programs.
+
+    Real (interpreted) programs whose memory is managed by the Beltway
+    collectors — the second, independent mutator family next to the
+    synthetic SPEC-like generators. Each value is the program source;
+    [expected_output] (when given) is the exact [print] output, used
+    by the cross-configuration differential tests: every collector
+    must produce byte-identical program output. *)
+
+type t = {
+  name : string;
+  source : string;
+  expected_output : string option;
+  description : string;
+}
+
+val gcbench : t
+(** Boehm's classic GCBench: builds and drops complete binary trees of
+    increasing depth, top-down and bottom-up, with a long-lived tree
+    held throughout. *)
+
+val nqueens : t
+(** 8-queens solution count via list-based backtracking. *)
+
+val list_sort : t
+(** Merge sort over a pseudo-random 400-element list (LCG-generated);
+    prints the sum before and after sorting and a sortedness check. *)
+
+val queue_churn : t
+(** An imperative bounded queue over vectors, cycled many times:
+    steady old-to-young stores (the remset workout). *)
+
+val tak : t
+(** The Takeuchi function — deep recursion, environment-frame
+    pressure, almost no retained data. *)
+
+val sieve : t
+(** Primes below 1000 by repeated list filtering through closures —
+    heavy short-lived list churn with a growing long-lived result. *)
+
+val dict : t
+(** An association-list dictionary under insert/update/lookup load:
+    update-in-place stores over an ageing spine (old-to-young
+    pointers). *)
+
+val prelude : string
+(** A small list library written in Beltlang itself ([length],
+    [append], [reverse], [map], [filter], [foldl], [iota], [assq],
+    [for-each]); programs marked below already include it. *)
+
+val all : t list
+val by_name : string -> t option

@@ -1,0 +1,80 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+type lexer = { src : string; mutable pos : int; mutable line : int }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let error lx fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" lx.line s))) fmt
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance lx;
+    skip_ws lx
+  | Some ';' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws lx
+  | _ -> ()
+
+let is_atom_char = function
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '\'' -> false
+  | _ -> true
+
+let read_atom lx =
+  let start = lx.pos in
+  while (match peek lx with Some c -> is_atom_char c | None -> false) do
+    advance lx
+  done;
+  if lx.pos = start then error lx "expected an atom";
+  String.sub lx.src start (lx.pos - start)
+
+let rec read_form lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> error lx "unexpected end of input"
+  | Some '(' ->
+    advance lx;
+    let rec items acc =
+      skip_ws lx;
+      match peek lx with
+      | Some ')' ->
+        advance lx;
+        List (List.rev acc)
+      | None -> error lx "unterminated list"
+      | Some _ -> items (read_form lx :: acc)
+    in
+    items []
+  | Some ')' -> error lx "unexpected ')'"
+  | Some '\'' ->
+    advance lx;
+    List [ Atom "quote"; read_form lx ]
+  | Some _ -> Atom (read_atom lx)
+
+let parse_string src =
+  let lx = { src; pos = 0; line = 1 } in
+  let rec forms acc =
+    skip_ws lx;
+    if lx.pos >= String.length src then List.rev acc else forms (read_form lx :: acc)
+  in
+  forms []
+
+let rec pp fmt = function
+  | Atom a -> Format.pp_print_string fmt a
+  | List items ->
+    Format.fprintf fmt "(@[<hov>%a@])"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+      items

@@ -1,0 +1,17 @@
+(** S-expression reader for Beltlang (lexer + parser).
+
+    Beltlang is the Scheme-flavoured language whose values live on the
+    simulated Beltway heap; its reader is deliberately tiny: atoms
+    (integers, [#t]/[#f], symbols), lists, ['] quotation and [;]
+    comments. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+(** Raised with a human-readable message (position included). *)
+
+val parse_string : string -> t list
+(** All top-level forms in the input.
+    @raise Parse_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/belt.ml: Increment List

@@ -1,0 +1,1 @@
+lib/core/collector.ml: Array Beltway_util Card_table Config Copy_reserve Gc_stats Hashtbl Increment List Memory Object_model Option Printf Remset Roots State Value Write_barrier

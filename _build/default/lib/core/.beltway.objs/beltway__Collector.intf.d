@@ -1,0 +1,1 @@
+lib/core/collector.mli: Gc_stats Increment State

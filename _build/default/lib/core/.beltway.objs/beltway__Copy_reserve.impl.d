@@ -1,0 +1,1 @@
+lib/core/copy_reserve.ml: Array Belt Config Increment List State

@@ -1,0 +1,1 @@
+lib/core/copy_reserve.mli: State

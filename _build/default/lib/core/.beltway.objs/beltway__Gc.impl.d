@@ -1,0 +1,1 @@
+lib/core/gc.ml: Addr Array Belt Boot_space Card_table Config Copy_reserve Format Frame_info Gc_stats Increment List Memory Object_model Remset Schedule State Type_registry Value Write_barrier

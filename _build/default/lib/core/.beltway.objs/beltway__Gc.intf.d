@@ -1,0 +1,1 @@
+lib/core/gc.mli: Addr Config Format Gc_stats Roots State Type_registry Value

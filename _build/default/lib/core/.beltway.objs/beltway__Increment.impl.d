@@ -1,0 +1,1 @@
+lib/core/increment.ml: Addr Beltway_util List Memory Object_model

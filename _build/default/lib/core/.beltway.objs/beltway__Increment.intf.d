@@ -1,0 +1,1 @@
+lib/core/increment.mli: Addr Beltway_util Memory

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Boot_space Gc Hashtbl Memory Object_model Roots State Value

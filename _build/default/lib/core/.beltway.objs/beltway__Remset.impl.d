@@ -1,0 +1,1 @@
+lib/core/remset.ml: Beltway_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Addr Array Belt Collector Config Copy_reserve Increment List Logs Memory Option Printf State Trigger

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Collector Gc_stats Increment State

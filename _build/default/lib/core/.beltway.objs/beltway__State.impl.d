@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Belt Beltway_util Boot_space Card_table Config Frame_info Gc_stats Hashtbl Increment List Memory Printf Remset Roots Type_registry

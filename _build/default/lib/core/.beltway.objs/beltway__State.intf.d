@@ -1,0 +1,1 @@
+lib/core/state.mli: Addr Belt Boot_space Card_table Config Frame_info Gc_stats Hashtbl Increment Memory Remset Roots Type_registry

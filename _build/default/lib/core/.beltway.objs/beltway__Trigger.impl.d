@@ -1,0 +1,1 @@
+lib/core/trigger.ml: Addr Array Belt Config Copy_reserve Increment Remset State

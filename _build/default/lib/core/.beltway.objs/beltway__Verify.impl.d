@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Belt Beltway_util Boot_space Card_table Config Format Frame_info Gc Hashtbl Increment List Memory Object_model Oracle Printf Remset Result Roots State Value Write_barrier

@@ -1,0 +1,1 @@
+lib/core/write_barrier.ml: Array Belt Card_table Config Frame_info Gc_stats Increment Memory Remset State

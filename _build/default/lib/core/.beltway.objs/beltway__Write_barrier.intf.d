@@ -1,0 +1,1 @@
+lib/core/write_barrier.mli: Addr State

@@ -1,0 +1,11 @@
+type t = { dirty : (int, unit) Hashtbl.t }
+
+let create () = { dirty = Hashtbl.create 64 }
+let mark t ~frame = Hashtbl.replace t.dirty frame ()
+let is_dirty t ~frame = Hashtbl.mem t.dirty frame
+let clear t ~frame = Hashtbl.remove t.dirty frame
+
+let iter_dirty t f =
+  Hashtbl.fold (fun frame () acc -> frame :: acc) t.dirty [] |> List.iter f
+
+let dirty_count t = Hashtbl.length t.dirty

@@ -1,0 +1,285 @@
+module Vec = Beltway_util.Vec
+
+type plan = {
+  increments : Increment.t list;
+  reason : string;
+  full_heap : bool;
+}
+
+let plan_frames p =
+  List.fold_left (fun acc i -> acc + Increment.occupancy_frames i) 0 p.increments
+
+let plan_words p =
+  List.fold_left (fun acc i -> acc + Increment.words_used i) 0 p.increments
+
+let evacuation_frames p =
+  List.fold_left
+    (fun acc (i : Increment.t) ->
+      if i.Increment.pinned then acc else acc + Increment.occupancy_frames i)
+    0 p.increments
+
+(* Destination belt for survivors of an increment on [belt]. Pinned
+   (LOS) increments are never evacuated, so only configured belts can
+   appear here; the top configured belt wraps onto itself. *)
+let dest_belt st belt =
+  let regular = State.regular_belts st in
+  let belt = min belt (regular - 1) in
+  match st.State.config.Config.belts.(belt).Config.promote with
+  | Config.Same_belt -> belt
+  | Config.Next_belt -> if belt + 1 < regular then belt + 1 else belt
+
+type dest = { inc : Increment.t; pos : Increment.pos }
+
+let collect st plan =
+  let mem = st.State.mem in
+  st.State.in_gc <- true;
+  let copied_words = ref 0 in
+  let copied_objects = ref 0 in
+  let scanned_slots = ref 0 in
+  let remset_slots = ref 0 in
+  let roots_scanned = ref 0 in
+
+  (* Plan membership, by increment id and by frame. *)
+  let in_plan_inc = Hashtbl.create 16 in
+  let in_plan_frame = Hashtbl.create 64 in
+  List.iter
+    (fun (inc : Increment.t) ->
+      Hashtbl.replace in_plan_inc inc.Increment.id ();
+      Increment.seal inc;
+      Vec.iter (fun f -> Hashtbl.replace in_plan_frame f ()) inc.Increment.frames)
+    plan.increments;
+  let frame_in_plan f = Hashtbl.mem in_plan_frame f in
+  let inc_in_plan (i : Increment.t) = Hashtbl.mem in_plan_inc i.Increment.id in
+
+  (* Destination (open) increments, one per destination belt, created
+     lazily and replaced when they hit their bound. [dests] also serves
+     as the Cheney grey-set: every destination is scanned from the
+     position at which it was registered. *)
+  let dests : dest option Vec.t = Vec.create ~dummy:None () in
+  let belt_dest : dest option array = Array.make (Array.length st.State.belts) None in
+  let register_dest belt =
+    let inc = State.open_inc st ~belt ~in_plan:inc_in_plan in
+    let d = { inc; pos = Increment.scan_pos inc } in
+    Vec.push dests (Some d);
+    belt_dest.(belt) <- Some d;
+    d
+  in
+  let dest_for belt =
+    match belt_dest.(belt) with
+    | Some d when (not d.inc.Increment.sealed) && not (Increment.at_bound d.inc) -> d
+    | Some d when not d.inc.Increment.sealed ->
+      (* At bound but current frame may still have room; keep using it
+         until a bump actually fails. *)
+      d
+    | _ -> register_dest belt
+  in
+
+  (* Bump-allocate [size] words in the destination for [belt], rolling
+     over to a fresh increment when the current one is full. *)
+  let rec dest_alloc belt size =
+    let d = dest_for belt in
+    match Increment.try_bump d.inc ~size with
+    | Some addr -> addr
+    | None ->
+      if Increment.at_bound d.inc then begin
+        Increment.seal d.inc;
+        let d' = register_dest belt in
+        ignore d';
+        dest_alloc belt size
+      end
+      else begin
+        State.grant_frame st d.inc ~during_gc:true;
+        dest_alloc belt size
+      end
+  in
+
+  (* Pinned (large-object) increments in the plan are marked in place
+     rather than copied; their objects join the grey set through
+     [pinned_work]. *)
+  let marked_pinned : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let pinned_work : Increment.t Vec.t =
+    Vec.create ~dummy:(Increment.create ~id:(-1) ~belt:0 ~stamp:0 ~bound_frames:None) ()
+  in
+
+  (* Evacuate one object; returns its new address. *)
+  let copy src_inc addr =
+    let size = Object_model.size_of mem addr in
+    let belt = dest_belt st src_inc.Increment.belt in
+    let new_addr = dest_alloc belt size in
+    for i = 0 to size - 1 do
+      Memory.set mem (new_addr + i) (Memory.get mem (addr + i))
+    done;
+    Object_model.set_forwarding mem addr new_addr;
+    copied_words := !copied_words + size;
+    incr copied_objects;
+    new_addr
+  in
+
+  let forward v =
+    if not (Value.is_ref v) then v
+    else begin
+      let addr = Value.to_addr v in
+      if not (frame_in_plan (State.frame_of_addr st addr)) then v
+      else begin
+        match Object_model.forwarded mem addr with
+        | Some new_addr -> Value.of_addr new_addr
+        | None -> (
+          match State.inc_of_frame st (State.frame_of_addr st addr) with
+          | None ->
+            invalid_arg (Printf.sprintf "Collector: object %#x in unowned frame" addr)
+          | Some inc when inc.Increment.pinned ->
+            if not (Hashtbl.mem marked_pinned inc.Increment.id) then begin
+              Hashtbl.replace marked_pinned inc.Increment.id ();
+              Vec.push pinned_work inc
+            end;
+            v
+          | Some src_inc -> Value.of_addr (copy src_inc addr))
+      end
+    end
+  in
+
+  (* Roots. *)
+  Roots.iter_update st.State.roots (fun v ->
+      incr roots_scanned;
+      forward v);
+
+  (* Record that a surviving slot still holds an interesting pointer,
+     in whichever bookkeeping the configuration uses. *)
+  let re_remember ~slot ~src ~tgt =
+    if Write_barrier.would_remember st ~src_frame:src ~tgt_frame:tgt then begin
+      match st.State.config.Config.barrier with
+      | Config.Remsets -> Remset.insert st.State.remsets ~src_frame:src ~tgt_frame:tgt ~slot
+      | Config.Cards -> Card_table.mark st.State.cards ~frame:src
+    end
+  in
+
+  (match st.State.config.Config.barrier with
+  | Config.Remsets ->
+    (* Remembered slots targeting the plan from outside it. Snapshot
+       first: forwarding inserts new remset entries and the table must
+       not be mutated mid-iteration. *)
+    let pending_slots = Vec.create ~dummy:0 () in
+    Remset.iter_into st.State.remsets ~in_plan:frame_in_plan (fun ~slot ->
+        Vec.push pending_slots slot);
+    Vec.iter
+      (fun slot ->
+        incr remset_slots;
+        let v = Memory.get mem slot in
+        if Value.is_ref v then begin
+          let v' = forward v in
+          if v' <> v then begin
+            Memory.set mem slot v';
+            (* The slot now refers into a destination frame; re-apply
+               the barrier predicate under the new stamps. *)
+            re_remember ~slot ~src:(State.frame_of_addr st slot)
+              ~tgt:(State.frame_of_addr st (Value.to_addr v'))
+          end
+        end)
+      pending_slots
+  | Config.Cards ->
+    (* Card scanning: every dirty frame outside the plan may hold
+       pointers into it. Scan the owning increments object by object —
+       the scan-cost side of the cards-vs-remsets trade-off (paper S5).
+       Cards are cleared first and re-marked for slots that still hold
+       interesting pointers afterwards. *)
+    let incs_to_scan = Hashtbl.create 16 in
+    Card_table.iter_dirty st.State.cards (fun frame ->
+        if not (frame_in_plan frame) then begin
+          Card_table.clear st.State.cards ~frame;
+          match State.inc_of_frame st frame with
+          | Some inc -> Hashtbl.replace incs_to_scan inc.Increment.id inc
+          | None -> ()
+        end);
+    Hashtbl.iter
+      (fun _ (inc : Increment.t) ->
+        Increment.iter_objects inc mem (fun obj ->
+            Object_model.iter_ref_slots mem obj (fun slot ->
+                incr remset_slots;
+                let v = Memory.get mem slot in
+                let v' = forward v in
+                if v' <> v then Memory.set mem slot v';
+                re_remember ~slot ~src:(State.frame_of_addr st slot)
+                  ~tgt:(State.frame_of_addr st (Value.to_addr v')))))
+      incs_to_scan);
+
+  (* Scan one grey object: forward its outgoing references and re-apply
+     the barrier predicate under the new frame stamps. The source frame
+     is taken per slot, which also handles pinned objects spanning
+     several (contiguous, equally stamped) frames. *)
+  let scan_object obj =
+    Object_model.iter_ref_slots mem obj (fun slot ->
+        incr scanned_slots;
+        let v = Memory.get mem slot in
+        let v' = forward v in
+        if v' <> v then Memory.set mem slot v';
+        re_remember ~slot ~src:(State.frame_of_addr st slot)
+          ~tgt:(State.frame_of_addr st (Value.to_addr v')))
+  in
+
+  (* Cheney drain: scan every destination's copied objects and every
+     marked pinned object; scanning may copy or mark more, so iterate
+     until no grey work remains. *)
+  let progress = ref true in
+  let pinned_scanned = ref 0 in
+  while !progress do
+    progress := false;
+    (* [dests] may grow during the loop; index-based iteration picks up
+       new destinations in the same pass. *)
+    let i = ref 0 in
+    while !i < Vec.length dests do
+      let d = Option.get (Vec.get dests !i) in
+      while Increment.scan_pending d.inc mem d.pos do
+        progress := true;
+        scan_object (Increment.scan_step d.inc mem d.pos)
+      done;
+      incr i
+    done;
+    while !pinned_scanned < Vec.length pinned_work do
+      progress := true;
+      let inc = Vec.get pinned_work !pinned_scanned in
+      incr pinned_scanned;
+      scan_object (Increment.base_object inc mem)
+    done
+  done;
+
+  (* Release the evacuated increments; marked pinned increments stay in
+     place (that is the point of the large object space). *)
+  let pf = plan_frames plan in
+  let pw = plan_words plan in
+  let pi = List.length plan.increments in
+  let freed_frames = ref 0 in
+  List.iter
+    (fun (inc : Increment.t) ->
+      if
+        not
+          (inc.Increment.pinned && Hashtbl.mem marked_pinned inc.Increment.id)
+      then begin
+        freed_frames := !freed_frames + Increment.occupancy_frames inc;
+        State.free_increment st inc
+      end)
+    plan.increments;
+  let freed_frames = !freed_frames in
+
+  st.State.in_gc <- false;
+  if plan.full_heap then st.State.live_est_frames <- st.State.frames_used;
+  let record : Gc_stats.collection =
+    {
+      Gc_stats.n = Gc_stats.gcs st.State.stats;
+      reason = plan.reason;
+      clock_words = st.State.stats.Gc_stats.words_allocated;
+      plan_incs = pi;
+      plan_frames = pf;
+      plan_words = pw;
+      full_heap = plan.full_heap;
+      copied_words = !copied_words;
+      copied_objects = !copied_objects;
+      scanned_slots = !scanned_slots;
+      remset_slots = !remset_slots;
+      roots_scanned = !roots_scanned;
+      freed_frames;
+      heap_frames_after = st.State.frames_used;
+      reserve_frames = Copy_reserve.frames st;
+    }
+  in
+  Gc_stats.record_collection st.State.stats record;
+  record

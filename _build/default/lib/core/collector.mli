@@ -1,0 +1,39 @@
+(** The copying collector: a Cheney scan over a *set* of increments.
+
+    A plan is a set of increments collected together (the downward
+    closure of the chosen increment in collect-stamp order, so every
+    unremembered inter-increment pointer into the plan originates
+    inside the plan). Roots are the mutator root set plus every
+    remembered slot whose target frame is in the plan and whose source
+    frame is not. Survivors are copied to the open increment of their
+    promotion-target belt — per *source increment*, so one pass
+    handles a nursery increment promoting up and an old increment
+    compacting onto its own belt in the same collection (the paper's
+    collect-lower-and-higher-increments-together optimisation falls
+    out for free).
+
+    While scanning a copied object the collector re-applies the write
+    barrier's predicate to every outgoing reference: survivors live in
+    new frames with new stamps, so their interesting pointers are
+    re-recorded and all remsets relating to the evacuated frames can
+    simply be dropped. *)
+
+type plan = {
+  increments : Increment.t list; (** downward-closed in stamp order *)
+  reason : string;
+  full_heap : bool;
+}
+
+val collect : State.t -> plan -> Gc_stats.collection
+(** Run the collection: evacuate live objects, update roots and
+    remembered slots, free the plan's frames, log and return the
+    collection record. @raise State.Out_of_memory if the copy reserve
+    proves insufficient (heap too small for this program). *)
+
+val plan_frames : plan -> int
+val plan_words : plan -> int
+
+val evacuation_frames : plan -> int
+(** Frames the plan may need to copy somewhere else: its occupancy
+    minus pinned (large-object) increments, which are marked in place
+    rather than evacuated. Plan feasibility is judged on this. *)

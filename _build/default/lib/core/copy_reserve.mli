@@ -1,0 +1,26 @@
+(** The dynamic conservative copy reserve (paper S3.3.4).
+
+    All copying collectors hold space in reserve for the survivors of
+    the worst-case collection. Classical semi-space and generational
+    implementations fix the reserve at half the heap; Beltway computes
+    a conservative minimum each time: the larger of the largest
+    configured increment size and the largest *potential occupancy* of
+    any increment at its next collection — an increment's own
+    occupancy plus the maximum occupancy of any other increment the
+    collector could copy into it — plus a small pad for frame-seam
+    fragmentation ("the copy reserve must be slightly more generous
+    because the copied data may not pack as well").
+
+    With a small increment size the reserve stays near one increment;
+    as an X.X.100 third belt fills, the reserve grows until it reaches
+    half the heap and falls back after that belt is collected,
+    "continuously maximizing usable memory". *)
+
+val frames : State.t -> int
+(** The reserve in frames under the state's configuration ([Half] or
+    [Dynamic]). Allocation must keep
+    [frames_used + incoming + frames st <= heap_frames]. *)
+
+val pad : State.t -> int
+(** The fragmentation pad included in {!frames} (also used by the
+    schedule when checking plan feasibility). *)

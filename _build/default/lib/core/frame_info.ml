@@ -1,0 +1,37 @@
+type t = { mutable stamps : int array; mutable incrs : int array }
+
+let immortal_stamp = max_int
+let priority_unit = 1 lsl 40
+let no_stamp = -1
+
+let create () = { stamps = Array.make 64 no_stamp; incrs = Array.make 64 (-1) }
+
+let ensure t frame =
+  let cap = Array.length t.stamps in
+  if frame >= cap then begin
+    let n = max (frame + 1) (cap * 2) in
+    let stamps = Array.make n no_stamp in
+    Array.blit t.stamps 0 stamps 0 cap;
+    t.stamps <- stamps;
+    let incrs = Array.make n (-1) in
+    Array.blit t.incrs 0 incrs 0 cap;
+    t.incrs <- incrs
+  end
+
+let set t ~frame ~stamp ~incr =
+  ensure t frame;
+  t.stamps.(frame) <- stamp;
+  t.incrs.(frame) <- incr
+
+let clear t ~frame =
+  ensure t frame;
+  t.stamps.(frame) <- no_stamp;
+  t.incrs.(frame) <- -1
+
+let stamp t frame = if frame < Array.length t.stamps then t.stamps.(frame) else no_stamp
+
+let restamp t ~frame ~stamp =
+  ensure t frame;
+  t.stamps.(frame) <- stamp
+
+let incr_of t frame = if frame < Array.length t.incrs then t.incrs.(frame) else -1

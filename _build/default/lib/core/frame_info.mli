@@ -1,0 +1,49 @@
+(** Per-frame collector metadata.
+
+    The paper (S3.3.1) attaches to each frame "a number associated with
+    each frame that indicates the frame's relative collection order";
+    the write barrier compares these *collect stamps* with a shift and
+    an array load (Figure 4, line 6: [Belt.collect_\[t\] <
+    Belt.collect_\[s\]]). We also record which increment owns each
+    frame so a collection can resolve the promotion target of any
+    object from its address alone.
+
+    Stamps are [priority * 2^40 + sequence]: generational
+    configurations give lower belts lower priority (they are collected
+    first even though their increments are created later), older-first
+    configurations use epoch-based priorities, and pure FIFO
+    configurations use a constant priority so stamps decay to creation
+    order. Frames of one increment share one stamp, so pointers between
+    the constituent frames of an increment are never remembered. The
+    boot space's frames carry {!immortal_stamp}. *)
+
+type t
+
+val immortal_stamp : int
+(** Greater than any assignable stamp; boot/immortal frames never
+    appear younger than any heap frame. *)
+
+val priority_unit : int
+(** The multiplier separating priority classes ([2^40]). *)
+
+val create : unit -> t
+
+val set : t -> frame:int -> stamp:int -> incr:int -> unit
+(** Install metadata when a frame is handed to an increment (or to the
+    boot space, with [incr = boot_incr_id]). *)
+
+val clear : t -> frame:int -> unit
+(** Reset metadata when a frame is freed. *)
+
+val stamp : t -> int -> int
+(** Collect stamp of a frame; {!no_stamp} for unowned frames. *)
+
+val restamp : t -> frame:int -> stamp:int -> unit
+(** Update only the stamp (BOF belt flips renumber surviving belts). *)
+
+val incr_of : t -> int -> int
+(** Owning increment id of a frame, or [-1]. *)
+
+val no_stamp : int
+(** Stamp reported for unowned frames ([-1]); never satisfies the
+    remember predicate as a target. *)

@@ -1,0 +1,115 @@
+type t = State.t
+
+exception Out_of_memory = State.Out_of_memory
+
+let stamp_boot_frames st =
+  List.iter
+    (fun frame -> Frame_info.set st.State.finfo ~frame ~stamp:Frame_info.immortal_stamp ~incr:(-1))
+    (Boot_space.frames st.State.boot)
+
+let create ?(frame_log_words = 10) ~config ~heap_bytes () =
+  let frame_bytes = (1 lsl frame_log_words) * Addr.bytes_per_word in
+  let heap_frames = max 4 ((heap_bytes + frame_bytes - 1) / frame_bytes) in
+  let st = State.create ~config ~heap_frames ~frame_log_words in
+  stamp_boot_frames st;
+  st
+
+let register_type st ~name =
+  let id = Type_registry.register st.State.types ~name in
+  (* Type registration may have mapped new boot frames; keep their
+     stamps immortal. *)
+  stamp_boot_frames st;
+  id
+
+let finish_alloc st ~ty ~nfields ~size addr =
+  let tib = Type_registry.tib_value st.State.types ty in
+  Object_model.init st.State.mem addr ~tib ~nfields;
+  let stats = st.State.stats in
+  stats.Gc_stats.words_allocated <- stats.Gc_stats.words_allocated + size;
+  stats.Gc_stats.objects_allocated <- stats.Gc_stats.objects_allocated + 1;
+  (* The TIB initialising write goes through the write barrier, exactly
+     the Jikes RVM behaviour that motivates the nursery filter. *)
+  Write_barrier.record st ~slot:(Object_model.tib_addr addr)
+    ~target:(Value.to_addr tib);
+  addr
+
+let alloc st ~ty ~nfields =
+  if nfields < 0 then invalid_arg "Gc.alloc: negative field count";
+  let size = Object_model.size_words ~nfields in
+  match st.State.config.Config.los_threshold with
+  | Some threshold when size >= threshold ->
+    let inc = Schedule.alloc_large st ~size in
+    finish_alloc st ~ty ~nfields ~size (Increment.base_object inc st.State.mem)
+  | _ ->
+    let nur = Schedule.prepare_alloc st ~size in
+    let addr =
+      match Increment.try_bump nur ~size with
+      | Some a -> a
+      | None ->
+        (* prepare_alloc guarantees room; reaching here is a scheduler bug. *)
+        invalid_arg "Gc.alloc: internal error: nursery bump failed after prepare"
+    in
+    finish_alloc st ~ty ~nfields ~size addr
+
+let alloc_pretenured st ~ty ~nfields ~belt =
+  if nfields < 0 then invalid_arg "Gc.alloc_pretenured: negative field count";
+  let size = Object_model.size_words ~nfields in
+  match st.State.config.Config.los_threshold with
+  | Some threshold when size >= threshold ->
+    (* Large objects are already segregated; the LOS overrides. *)
+    let inc = Schedule.alloc_large st ~size in
+    finish_alloc st ~ty ~nfields ~size (Increment.base_object inc st.State.mem)
+  | _ ->
+    let inc = Schedule.prepare_alloc_in st ~belt ~size in
+    let addr =
+      match Increment.try_bump inc ~size with
+      | Some a -> a
+      | None -> invalid_arg "Gc.alloc_pretenured: internal error: bump failed"
+    in
+    finish_alloc st ~ty ~nfields ~size addr
+
+let write st obj i v =
+  Object_model.set_field st.State.mem obj i v;
+  if Value.is_ref v then
+    Write_barrier.record st ~slot:(Object_model.field_addr obj i)
+      ~target:(Value.to_addr v)
+
+let read st obj i = Object_model.get_field st.State.mem obj i
+let nfields st obj = Object_model.nfields st.State.mem obj
+let type_of st obj = Type_registry.id_of_tib st.State.types (Object_model.tib st.State.mem obj)
+let roots st = st.State.roots
+let stats st = st.State.stats
+let config st = st.State.config
+let collect st = ignore (Schedule.collect_now st ~reason:"forced")
+let full_collect st = ignore (Schedule.full_collect st)
+let heap_frames st = st.State.heap_frames
+let frame_bytes st = Memory.frame_bytes st.State.mem
+let heap_bytes st = heap_frames st * frame_bytes st
+let frames_used st = st.State.frames_used
+let words_allocated st = st.State.stats.Gc_stats.words_allocated
+let bytes_allocated st = words_allocated st * Addr.bytes_per_word
+let live_words_upper_bound st = State.live_words st
+let reserve_frames st = Copy_reserve.frames st
+let state st = st
+
+let pp_heap fmt st =
+  Format.fprintf fmt "@[<v>heap: %d/%d frames used, reserve %d, remsets %d entries"
+    st.State.frames_used st.State.heap_frames (Copy_reserve.frames st)
+    (Remset.total_entries st.State.remsets);
+  if st.State.config.Config.barrier = Config.Cards then
+    Format.fprintf fmt ", %d dirty cards" (Card_table.dirty_count st.State.cards);
+  Array.iter
+    (fun belt ->
+      let name =
+        match State.los_belt st with
+        | Some b when b = Belt.index belt -> "LOS"
+        | _ -> string_of_int (Belt.index belt)
+      in
+      Format.fprintf fmt "@,belt %s (%d increments):" name (Belt.length belt);
+      Belt.iter belt (fun (i : Increment.t) ->
+          Format.fprintf fmt "@,  inc %d stamp=%d frames=%d words=%d%s%s" i.Increment.id
+            i.Increment.stamp (Increment.frame_count i) i.Increment.words_used
+            (if i.Increment.sealed then " sealed" else "")
+            (if i.Increment.pinned then " pinned" else "")))
+    st.State.belts;
+  Format.fprintf fmt "@]"

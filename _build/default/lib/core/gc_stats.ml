@@ -1,0 +1,81 @@
+module Vec = Beltway_util.Vec
+
+type collection = {
+  n : int;
+  reason : string;
+  clock_words : int;
+  plan_incs : int;
+  plan_frames : int;
+  plan_words : int;
+  full_heap : bool;
+  copied_words : int;
+  copied_objects : int;
+  scanned_slots : int;
+  remset_slots : int;
+  roots_scanned : int;
+  freed_frames : int;
+  heap_frames_after : int;
+  reserve_frames : int;
+}
+
+let dummy_collection =
+  {
+    n = -1;
+    reason = "";
+    clock_words = 0;
+    plan_incs = 0;
+    plan_frames = 0;
+    plan_words = 0;
+    full_heap = false;
+    copied_words = 0;
+    copied_objects = 0;
+    scanned_slots = 0;
+    remset_slots = 0;
+    roots_scanned = 0;
+    freed_frames = 0;
+    heap_frames_after = 0;
+    reserve_frames = 0;
+  }
+
+type t = {
+  mutable words_allocated : int;
+  mutable objects_allocated : int;
+  mutable barrier_ops : int;
+  mutable barrier_fast : int;
+  mutable barrier_slow : int;
+  mutable barrier_filtered : int;
+  mutable frames_allocated : int;
+  mutable peak_frames : int;
+  collections : collection Vec.t;
+}
+
+let create () =
+  {
+    words_allocated = 0;
+    objects_allocated = 0;
+    barrier_ops = 0;
+    barrier_fast = 0;
+    barrier_slow = 0;
+    barrier_filtered = 0;
+    frames_allocated = 0;
+    peak_frames = 0;
+    collections = Vec.create ~dummy:dummy_collection ();
+  }
+
+let record_collection t c = Vec.push t.collections c
+let gcs t = Vec.length t.collections
+
+let total_copied_words t =
+  Vec.fold (fun acc c -> acc + c.copied_words) 0 t.collections
+
+let total_freed_frames t =
+  Vec.fold (fun acc c -> acc + c.freed_frames) 0 t.collections
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>allocated: %d words in %d objects@,\
+     barriers: %d (%d fast, %d slow, %d filtered)@,\
+     collections: %d (copied %d words, freed %d frames, peak %d frames)@]"
+    t.words_allocated t.objects_allocated t.barrier_ops t.barrier_fast t.barrier_slow
+    t.barrier_filtered (gcs t) (total_copied_words t) (total_freed_frames t)
+    t.peak_frames

@@ -1,0 +1,52 @@
+(** Collector statistics and the per-collection event log.
+
+    The harness reconstructs the paper's figures from these raw event
+    counts: GC "time" and mutator "time" are computed by
+    [Beltway_sim.Cost_model] from bytes copied, slots scanned, barrier
+    paths taken, etc., so the collector itself stays measurement-
+    agnostic. The allocation clock (words allocated so far) timestamps
+    every collection, which is what the MMU analysis needs. *)
+
+type collection = {
+  n : int; (** ordinal of this collection *)
+  reason : string; (** "heap-full", "nursery", "remset", ... *)
+  clock_words : int; (** allocation clock when the pause began *)
+  plan_incs : int; (** increments collected together *)
+  plan_frames : int;
+  plan_words : int; (** occupancy of the collected increments *)
+  full_heap : bool;
+  copied_words : int;
+  copied_objects : int;
+  scanned_slots : int; (** slots examined by the Cheney scan *)
+  remset_slots : int;
+      (** barrier-bookkeeping slots processed as roots: remembered-set
+          entries under [Remsets], or slots of dirty-frame objects
+          scanned under [Cards] *)
+  roots_scanned : int;
+  freed_frames : int;
+  heap_frames_after : int; (** frames still held after the collection *)
+  reserve_frames : int; (** copy reserve in force when triggered *)
+}
+
+type t = {
+  mutable words_allocated : int;
+  mutable objects_allocated : int;
+  mutable barrier_ops : int; (** barrier executions (every pointer store) *)
+  mutable barrier_fast : int; (** taken but nothing remembered *)
+  mutable barrier_slow : int; (** remset insert performed *)
+  mutable barrier_filtered : int; (** skipped by the nursery-source filter *)
+  mutable frames_allocated : int; (** lifetime frame grants *)
+  mutable peak_frames : int; (** high-water heap footprint *)
+  collections : collection Beltway_util.Vec.t;
+}
+
+val create : unit -> t
+
+val record_collection : t -> collection -> unit
+
+val gcs : t -> int
+val total_copied_words : t -> int
+val total_freed_frames : t -> int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph human-readable summary. *)

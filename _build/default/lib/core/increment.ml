@@ -1,0 +1,173 @@
+module Vec = Beltway_util.Vec
+
+type t = {
+  id : int;
+  mutable belt : int;
+  mutable stamp : int;
+  frames : int Vec.t;
+  frame_used : int Vec.t;
+  mutable cursor : Addr.t;
+  mutable limit : Addr.t;
+  mutable words_used : int;
+  mutable objects : int;
+  bound_frames : int option;
+  mutable sealed : bool;
+  pinned : bool;
+}
+
+type pos = { mutable fi : int; mutable addr : Addr.t }
+
+let create ~id ~belt ~stamp ~bound_frames =
+  {
+    id;
+    belt;
+    stamp;
+    frames = Vec.create ~dummy:0 ();
+    frame_used = Vec.create ~dummy:0 ();
+    cursor = Addr.null;
+    limit = Addr.null;
+    words_used = 0;
+    objects = 0;
+    bound_frames;
+    sealed = false;
+    pinned = false;
+  }
+
+(* A pinned (large-object-space) increment: exactly one object of
+   [size] words laid out across [frames] *contiguous* frames. Pinned
+   increments are never copied and never receive further allocation. *)
+let create_pinned ~id ~belt ~stamp ~frames:frame_list mem ~size =
+  let t =
+    {
+      id;
+      belt;
+      stamp;
+      frames = Vec.create ~dummy:0 ();
+      frame_used = Vec.create ~dummy:0 ();
+      cursor = Addr.null;
+      limit = Addr.null;
+      words_used = size;
+      objects = 1;
+      bound_frames = None;
+      sealed = true;
+      pinned = true;
+    }
+  in
+  let fw = Memory.frame_words mem in
+  let n = List.length frame_list in
+  List.iteri
+    (fun i f ->
+      Vec.push t.frames f;
+      (* Every frame fully used except possibly the last. *)
+      Vec.push t.frame_used (if i < n - 1 then fw else size - ((n - 1) * fw)))
+    frame_list;
+  (match frame_list with
+  | first :: _ ->
+    t.cursor <- Memory.frame_base mem first + size;
+    t.limit <- t.cursor
+  | [] -> invalid_arg "Increment.create_pinned: no frames");
+  t
+
+let base_object t mem =
+  if not t.pinned then invalid_arg "Increment.base_object: not pinned";
+  Memory.frame_base mem (Vec.get t.frames 0)
+
+let frame_count t = Vec.length t.frames
+let occupancy_frames t = Vec.length t.frames
+let words_used t = t.words_used
+
+let wasted_words t mem =
+  (frame_count t * Memory.frame_words mem) - t.words_used
+
+let at_bound t =
+  match t.bound_frames with None -> false | Some b -> frame_count t >= b
+
+let retire_current_frame t mem =
+  (* Record how much of the frame the bump pointer actually used. *)
+  if frame_count t > 0 then begin
+    let base = Memory.frame_base mem (Vec.top t.frames) in
+    Vec.push t.frame_used (t.cursor - base)
+  end
+
+let add_frame t mem frame =
+  if t.sealed then invalid_arg "Increment.add_frame: sealed";
+  if at_bound t then invalid_arg "Increment.add_frame: at bound";
+  retire_current_frame t mem;
+  Vec.push t.frames frame;
+  t.cursor <- Memory.frame_base mem frame;
+  t.limit <- t.cursor + Memory.frame_words mem
+
+let try_bump t ~size =
+  if t.sealed then None
+  else if t.cursor <> Addr.null && t.cursor + size <= t.limit then begin
+    let addr = t.cursor in
+    t.cursor <- t.cursor + size;
+    t.words_used <- t.words_used + size;
+    t.objects <- t.objects + 1;
+    Some addr
+  end
+  else None
+
+let seal t = t.sealed <- true
+
+(* Used words of frame [fi]: retired frames have a recorded extent; the
+   frame under the cursor extends to the cursor. *)
+let used_of_frame t mem fi =
+  if fi < Vec.length t.frame_used then Vec.get t.frame_used fi
+  else if fi = frame_count t - 1 && t.cursor <> Addr.null then
+    t.cursor - Memory.frame_base mem (Vec.get t.frames fi)
+  else 0
+
+let scan_pos t = { fi = frame_count t - 1; addr = t.cursor }
+let start_pos (_ : t) = { fi = 0; addr = Addr.null }
+
+(* Normalise a position: ensure it points at a real object or the
+   frontier. A fresh increment (no frames) normalises to the frontier
+   trivially. *)
+let normalise t mem pos =
+  if frame_count t = 0 then ()
+  else begin
+    if pos.addr = Addr.null then begin
+      pos.fi <- 0;
+      pos.addr <- Memory.frame_base mem (Vec.get t.frames 0)
+    end;
+    (* Skip over frame seams: if we reached the used extent of the
+       current frame and further frames exist, hop to the next base. *)
+    let continue = ref true in
+    while !continue do
+      let base = Memory.frame_base mem (Vec.get t.frames pos.fi) in
+      let extent = base + used_of_frame t mem pos.fi in
+      if pos.addr >= extent && pos.fi < frame_count t - 1 then begin
+        pos.fi <- pos.fi + 1;
+        pos.addr <- Memory.frame_base mem (Vec.get t.frames pos.fi)
+      end
+      else continue := false
+    done
+  end
+
+let scan_pending t mem pos =
+  (not t.pinned)
+  && frame_count t > 0
+  && begin
+       normalise t mem pos;
+       pos.fi < frame_count t - 1 || pos.addr < t.cursor
+     end
+
+let scan_step t mem pos =
+  if not (scan_pending t mem pos) then
+    invalid_arg "Increment.scan_step: nothing pending";
+  (* After normalisation pos.addr points at an object header. *)
+  let addr = pos.addr in
+  let size = Object_model.size_of mem addr in
+  pos.addr <- pos.addr + size;
+  normalise t mem pos;
+  addr
+
+let iter_objects t mem f =
+  if t.pinned then f (base_object t mem)
+  else begin
+    let pos = start_pos t in
+    while scan_pending t mem pos do
+      f (scan_step t mem pos)
+    done
+  end

@@ -1,0 +1,93 @@
+(** Increments: the unit of collection (paper S2.2).
+
+    An increment is an independently collectible region of memory,
+    realised as an ordered list of frames sharing one collect stamp,
+    with bump-pointer allocation in the last frame. Because copying
+    never packs perfectly (frame tails are wasted when an object does
+    not fit), each retired frame remembers how many words it actually
+    used, which lets a Cheney scan walk the increment's objects without
+    any per-frame object table. *)
+
+type t = {
+  id : int;
+  mutable belt : int; (* belt index; updated when BOF flips belts *)
+  mutable stamp : int;
+  frames : int Beltway_util.Vec.t; (* frame indices, allocation order *)
+  frame_used : int Beltway_util.Vec.t; (* used words per retired frame *)
+  mutable cursor : Addr.t; (* bump pointer; null if no frame yet *)
+  mutable limit : Addr.t; (* end of current frame *)
+  mutable words_used : int; (* live-words estimate: words ever bumped *)
+  mutable objects : int; (* objects allocated/copied into this increment *)
+  bound_frames : int option; (* None = may grow to all usable memory *)
+  mutable sealed : bool; (* closed to further allocation *)
+  pinned : bool;
+      (* a large-object-space increment: exactly one object, never
+         copied; reclaimed whole when unreachable *)
+}
+
+type pos
+(** A scan position within an increment (Cheney scan pointer). *)
+
+val create :
+  id:int -> belt:int -> stamp:int -> bound_frames:int option -> t
+
+val create_pinned :
+  id:int -> belt:int -> stamp:int -> frames:int list -> Memory.t -> size:int -> t
+(** A sealed, pinned increment holding exactly one [size]-word object
+    laid out from the base of the first frame; the frames must be
+    address-contiguous (consecutive indices).
+    @raise Invalid_argument on an empty frame list. *)
+
+val base_object : t -> Memory.t -> Addr.t
+(** The single object of a pinned increment.
+    @raise Invalid_argument if not pinned. *)
+
+val frame_count : t -> int
+
+val occupancy_frames : t -> int
+(** Frames held (the collection/copy-reserve accounting unit). *)
+
+val words_used : t -> int
+
+val wasted_words : t -> Memory.t -> int
+(** Frame words held minus words used (fragmentation at frame seams,
+    the reason the paper's copy reserve must be "slightly more
+    generous"). *)
+
+val at_bound : t -> bool
+(** True when [bound_frames] is reached and the current frame cannot be
+    extended further. *)
+
+val add_frame : t -> Memory.t -> int -> unit
+(** Append a freshly allocated frame and point the bump cursor at it.
+    The caller owns budget accounting and frame-info stamping.
+    @raise Invalid_argument if sealed or at bound. *)
+
+val try_bump : t -> size:int -> Addr.t option
+(** Bump-allocate [size] words in the current frame; [None] when it
+    does not fit (caller decides whether to extend or collect). The
+    returned address is uninitialised (zeroed) memory. *)
+
+val seal : t -> unit
+(** Close to further allocation (nursery handoff for the time-to-die
+    trigger; plan membership seals too). *)
+
+val scan_pos : t -> pos
+(** Position at the current frontier: subsequent copies into this
+    increment will be scanned from here. *)
+
+val start_pos : t -> pos
+(** Position at the first object (integrity walks, oracle). *)
+
+val scan_pending : t -> Memory.t -> pos -> bool
+(** Whether objects remain between [pos] and the frontier (normalises
+    [pos] across frame seams as a side effect). *)
+
+val scan_step : t -> Memory.t -> pos -> Addr.t
+(** Object address at [pos], advancing [pos] past it.
+    @raise Invalid_argument if nothing is pending. *)
+
+val iter_objects : t -> Memory.t -> (Addr.t -> unit) -> unit
+(** Walk every object currently in the increment from the beginning.
+    Unsafe during collection of this increment (headers may be
+    forwarding pointers). *)

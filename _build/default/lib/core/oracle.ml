@@ -1,0 +1,36 @@
+let reachable gc =
+  let st = Gc.state gc in
+  let mem = st.State.mem in
+  let seen = Hashtbl.create 1024 in
+  let work = ref [] in
+  let push v =
+    if Value.is_ref v then begin
+      let a = Value.to_addr v in
+      (* Trace only collector-owned objects: boot objects are immortal
+         and hold no heap references. *)
+      if (not (Boot_space.contains st.State.boot a)) && not (Hashtbl.mem seen a) then begin
+        Hashtbl.replace seen a ();
+        work := a :: !work
+      end
+    end
+  in
+  Roots.iter st.State.roots push;
+  let rec drain () =
+    match !work with
+    | [] -> ()
+    | a :: rest ->
+      work := rest;
+      Object_model.iter_ref_slots mem a (fun slot -> push (Memory.get mem slot));
+      drain ()
+  in
+  drain ();
+  seen
+
+let live_words gc =
+  let st = Gc.state gc in
+  let mem = st.State.mem in
+  Hashtbl.fold
+    (fun addr () acc -> acc + Object_model.size_of mem addr)
+    (reachable gc) 0
+
+let retained_garbage_words gc = Gc.live_words_upper_bound gc - live_words gc

@@ -1,0 +1,21 @@
+(** A non-moving reachability oracle over the simulated heap.
+
+    The oracle computes exact reachability from the root set by a
+    mark-style trace that never moves anything — an independent
+    implementation against which every Beltway configuration is
+    validated in the test suite. It also measures exact live data,
+    which is how the tests observe the paper's completeness results:
+    Beltway X.X retains cross-increment cyclic garbage forever
+    ([retained_garbage] stays positive), while X.X.100 eventually
+    reclaims it. *)
+
+val reachable : Gc.t -> (Addr.t, unit) Hashtbl.t
+(** Addresses of all heap objects (boot space excluded) reachable from
+    the roots. *)
+
+val live_words : Gc.t -> int
+(** Exact words of reachable heap data. *)
+
+val retained_garbage_words : Gc.t -> int
+(** Occupied words minus reachable words: floating garbage currently
+    held by the heap. *)

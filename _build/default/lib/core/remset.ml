@@ -1,0 +1,125 @@
+module Vec = Beltway_util.Vec
+
+let frame_shift = 21 (* frame indices comfortably below 2^21 *)
+
+type set = { src : int; tgt : int; slots : int Vec.t; mutable since_dedup : int }
+
+type t = {
+  sets : (int, set) Hashtbl.t;
+  by_src : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* frame -> rsidx set *)
+  by_tgt : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  dedup_threshold : int;
+  mutable total : int;
+  mutable inserts : int;
+}
+
+let create ?(dedup_threshold = 4096) () =
+  {
+    sets = Hashtbl.create 64;
+    by_src = Hashtbl.create 64;
+    by_tgt = Hashtbl.create 64;
+    dedup_threshold;
+    total = 0;
+    inserts = 0;
+  }
+
+let rsidx ~src ~tgt = (src lsl frame_shift) lor tgt
+
+let index_add table frame idx =
+  let set =
+    match Hashtbl.find_opt table frame with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace table frame s;
+      s
+  in
+  Hashtbl.replace set idx ()
+
+let dedup t set =
+  let seen = Hashtbl.create (Vec.length set.slots) in
+  let kept = Vec.create ~dummy:0 () in
+  Vec.iter
+    (fun slot ->
+      if not (Hashtbl.mem seen slot) then begin
+        Hashtbl.replace seen slot ();
+        Vec.push kept slot
+      end)
+    set.slots;
+  let removed = Vec.length set.slots - Vec.length kept in
+  Vec.clear set.slots;
+  Vec.iter (fun s -> Vec.push set.slots s) kept;
+  set.since_dedup <- 0;
+  t.total <- t.total - removed
+
+let insert t ~src_frame ~tgt_frame ~slot =
+  let idx = rsidx ~src:src_frame ~tgt:tgt_frame in
+  let set =
+    match Hashtbl.find_opt t.sets idx with
+    | Some s -> s
+    | None ->
+      let s =
+        { src = src_frame; tgt = tgt_frame; slots = Vec.create ~dummy:0 (); since_dedup = 0 }
+      in
+      Hashtbl.replace t.sets idx s;
+      index_add t.by_src src_frame idx;
+      index_add t.by_tgt tgt_frame idx;
+      s
+  in
+  Vec.push set.slots slot;
+  set.since_dedup <- set.since_dedup + 1;
+  t.total <- t.total + 1;
+  t.inserts <- t.inserts + 1;
+  if Vec.length set.slots > t.dedup_threshold && set.since_dedup > t.dedup_threshold / 2
+  then dedup t set
+
+let total_entries t = t.total
+let inserts t = t.inserts
+let sets t = Hashtbl.length t.sets
+
+let iter_into t ~in_plan f =
+  Hashtbl.iter
+    (fun _ set ->
+      if in_plan set.tgt && not (in_plan set.src) then
+        Vec.iter (fun slot -> f ~slot) set.slots)
+    t.sets
+
+let remove_set t idx =
+  match Hashtbl.find_opt t.sets idx with
+  | None -> ()
+  | Some set ->
+    t.total <- t.total - Vec.length set.slots;
+    Hashtbl.remove t.sets idx;
+    (match Hashtbl.find_opt t.by_src set.src with
+    | Some s -> Hashtbl.remove s idx
+    | None -> ());
+    (match Hashtbl.find_opt t.by_tgt set.tgt with
+    | Some s -> Hashtbl.remove s idx
+    | None -> ())
+
+let drop_frame t frame =
+  let collect table =
+    match Hashtbl.find_opt table frame with
+    | None -> []
+    | Some s -> Hashtbl.fold (fun idx () acc -> idx :: acc) s []
+  in
+  List.iter (remove_set t) (collect t.by_src);
+  List.iter (remove_set t) (collect t.by_tgt);
+  Hashtbl.remove t.by_src frame;
+  Hashtbl.remove t.by_tgt frame
+
+let mem_slot t ~src_frame ~tgt_frame ~slot =
+  match Hashtbl.find_opt t.sets (rsidx ~src:src_frame ~tgt:tgt_frame) with
+  | None -> false
+  | Some set -> Vec.exists (fun s -> s = slot) set.slots
+
+let entries_targeting t frame =
+  match Hashtbl.find_opt t.by_tgt frame with
+  | None -> 0
+  | Some s ->
+    Hashtbl.fold
+      (fun idx () acc ->
+        match Hashtbl.find_opt t.sets idx with
+        | Some set -> acc + Vec.length set.slots
+        | None -> acc)
+      s 0

@@ -1,0 +1,53 @@
+(** Remembered sets, one per (source frame, target frame) pair.
+
+    As in the paper (S3.3.2), the bounded number of frames lets us keep
+    a distinct remset for every target-source frame pair, keyed by
+    [rsidx = (s << k) | t]. Entries are *slot addresses* (the address
+    of the field holding the interesting pointer), so the collector
+    re-reads each slot at collection time — entries whose slot was
+    since overwritten are revalidated for free, and all sets relating
+    to a frame can be dropped in one operation when that frame is
+    collected or freed.
+
+    Mutators can insert the same slot many times; sets are compacted by
+    an occasional deduplication pass once they grow past a threshold,
+    mirroring GCTk's sequential-store-buffer + hash organisation. *)
+
+type t
+
+val create : ?dedup_threshold:int -> unit -> t
+(** [dedup_threshold] (default 4096): a set longer than this is
+    deduplicated before growing further. *)
+
+val insert : t -> src_frame:int -> tgt_frame:int -> slot:Addr.t -> unit
+
+val total_entries : t -> int
+(** Current entry count across all sets (drives the remset trigger). *)
+
+val inserts : t -> int
+(** Lifetime insert count (barrier slow-path statistic). *)
+
+val sets : t -> int
+(** Number of non-empty (source, target) pairs. *)
+
+val iter_into :
+  t ->
+  in_plan:(int -> bool) ->
+  (slot:Addr.t -> unit) ->
+  unit
+(** Apply [f] to every remembered slot whose *target* frame satisfies
+    [in_plan] and whose *source* frame does not (sources inside the
+    plan are discovered by the Cheney scan instead). These slots are
+    collection roots. *)
+
+val drop_frame : t -> int -> unit
+(** Delete every set whose source *or* target is the given frame
+    ("we can trivially delete all remsets relating to a frame"). *)
+
+val entries_targeting : t -> int -> int
+(** Entry count over sets whose target is the given frame (survival
+    pressure heuristic for triggers). *)
+
+val mem_slot : t -> src_frame:int -> tgt_frame:int -> slot:Addr.t -> bool
+(** Whether the slot is recorded in the (source, target) set. O(set
+    size); used by the integrity verifier, not by the collector. *)

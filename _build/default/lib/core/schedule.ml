@@ -1,0 +1,305 @@
+let log_src = Logs.Src.create "beltway.schedule" ~doc:"Beltway collection schedule"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let nursery st =
+  match Belt.back st.State.belts.(0) with
+  | Some inc when (not inc.Increment.sealed) && not (Increment.at_bound inc) -> inc
+  | Some inc when not inc.Increment.sealed -> inc (* at bound: caller collects *)
+  | _ ->
+    (* No open nursery. BOF: when the allocation belt has emptied, the
+       belts flip before allocation resumes. *)
+    if
+      st.State.config.Config.flip
+      && Belt.is_empty st.State.belts.(0)
+      && not (Belt.is_empty st.State.belts.(1))
+    then State.flip_belts st;
+    State.new_increment st ~belt:0
+
+let closure st (target : Increment.t) =
+  List.filter
+    (fun (i : Increment.t) -> i.Increment.stamp <= target.Increment.stamp)
+    (State.live_increments st)
+
+(* Front increments, one per non-empty belt, in belt order. *)
+let fronts st =
+  Array.to_list st.State.belts |> List.filter_map Belt.front
+
+let min_stamp_front st =
+  fronts st
+  |> List.filter (fun (i : Increment.t) -> Increment.occupancy_frames i > 0)
+  |> List.fold_left
+       (fun acc (i : Increment.t) ->
+         match acc with
+         | Some (b : Increment.t) when b.Increment.stamp <= i.Increment.stamp -> acc
+         | _ -> Some i)
+       None
+
+let worthwhile st (i : Increment.t) =
+  Increment.occupancy_frames i >= st.State.config.Config.min_useful_frames
+
+(* Candidate targets in *decreasing* preference order: the policy's
+   first choice first, then lower-belt fall-backs for feasibility
+   degradation. *)
+let candidates st =
+  match st.State.config.Config.order with
+  | Config.Global_fifo -> Option.to_list (min_stamp_front st)
+  | Config.Lowest_belt ->
+    (* Empty increments are never useful targets: collecting one frees
+       nothing and stalls the cascade. *)
+    let fs =
+      List.filter (fun (i : Increment.t) -> Increment.occupancy_frames i > 0) (fronts st)
+    in
+    (* Middle-belt fullness (paper S3.2: "when the higher belt becomes
+       full, it collects the oldest increment in the higher belt"): a
+       bounded middle belt holding more than two increments' worth is
+       full — drain its front now, so garbage flows on to the top belt
+       instead of accumulating until the terminal collection can no
+       longer be afforded. The paper's steady state for 33.33 — "two
+       completely full increments on belt 1" — is exactly this bound. *)
+    let nbelts = State.regular_belts st in
+    let overflowing =
+      List.filter
+        (fun (i : Increment.t) ->
+          let b = i.Increment.belt in
+          b > 0 && b < nbelts - 1
+          &&
+          match st.State.belt_bounds.(b) with
+          | Some x -> Belt.occupancy_frames st.State.belts.(b) > 2 * x
+          | None -> false)
+        fs
+      |> List.rev (* highest such belt first *)
+    in
+    let first_worthwhile = List.find_opt (worthwhile st) fs in
+    let chosen =
+      match (overflowing, first_worthwhile) with
+      | o :: _, _ -> Some o
+      | [], Some i -> Some i
+      | [], None -> (
+        (* Nothing worthwhile: take the highest non-empty belt (the
+           paper's "heap is considered full" case forcing a major
+           collection). *)
+        match List.rev fs with last :: _ -> Some last | [] -> None)
+    in
+    (match chosen with
+    | None -> []
+    | Some c ->
+      (* Degradation candidates: every front on a belt lower than or
+         equal to the chosen one, highest belt first. *)
+      List.filter (fun (i : Increment.t) -> i.Increment.belt <= c.Increment.belt) fs
+      |> List.rev)
+
+(* Evacuating the plan needs at most its own occupancy plus one
+   partially filled frame per destination belt; the copy reserve's pad
+   guarantees this fits whenever the plan is no larger than the
+   reserve's potential. *)
+let feasible st plan =
+  Collector.evacuation_frames plan + Array.length st.State.belts
+  <= State.free_frames st
+
+let choose_plan st ~reason =
+  let all = State.live_increments st in
+  let nlive = List.length all in
+  let mk ?(suffix = "") target =
+    let incs = closure st target in
+    {
+      Collector.increments = incs;
+      reason = reason ^ suffix;
+      full_heap = List.length incs = nlive && nlive > 0;
+    }
+  in
+  let rec pick = function
+    | [] -> None
+    | target :: rest ->
+      let plan = mk target in
+      if feasible st plan then Some plan
+      else begin
+        Log.debug (fun m ->
+            m "plan for increment %d infeasible (%d frames, %d free); degrading"
+              target.Increment.id
+              (Collector.plan_frames plan)
+              (State.free_frames st));
+        pick rest
+      end
+  in
+  (* Proactive completeness: once the full-collection watermark is
+     reached, collect the whole heap now — the live estimate says it
+     fits even when the conservative occupancy test does not. *)
+  (* A pinned (LOS) target would be chosen again and again if it turns
+     out to be live (it is retained in place, staying the belt front),
+     stalling the cascade. When a plan reaches the LOS belt, take the
+     whole belt: the closure of its back, i.e. a full collection that
+     sweeps every unreachable large object. *)
+  let widen_pinned (c : Increment.t) =
+    if c.Increment.pinned then
+      match Belt.back st.State.belts.(c.Increment.belt) with
+      | Some back -> back
+      | None -> c
+    else c
+  in
+  let cands = List.map widen_pinned (candidates st) in
+  match pick cands with
+  | Some plan -> Some plan
+  | None -> (
+    (* No plan passes the conservative occupancy test. The reserve is
+       conservative — it assumes 100% survival — so before declaring
+       the heap too small, attempt the policy's preferred plan and let
+       the collection itself run out of frames if the *actual*
+       survivors do not fit (grant_frame raises Out_of_memory during
+       GC, which surfaces as this heap size failing, exactly as a real
+       collector would die here). This emergency path is what lets the
+       complete Beltway configurations operate below the half-heap
+       discipline in tight heaps. *)
+    match cands with
+    | [] -> None
+    | target :: _ ->
+      Log.debug (fun m ->
+          m "emergency collection of increment %d (plan exceeds conservative reserve)"
+            target.Increment.id);
+      Some (mk ~suffix:"-emergency" target))
+
+let collect_now st ~reason =
+  match choose_plan st ~reason with
+  | None -> None
+  | Some plan -> Some (Collector.collect st plan)
+
+let full_collect st =
+  let all = State.live_increments st in
+  match
+    List.fold_left
+      (fun acc (i : Increment.t) ->
+        match acc with
+        | Some (b : Increment.t) when b.Increment.stamp >= i.Increment.stamp -> acc
+        | _ -> Some i)
+      None all
+  with
+  | None -> None
+  | Some target ->
+    Some
+      (Collector.collect st
+         { Collector.increments = closure st target; reason = "full"; full_heap = true })
+
+let alloc_large st ~size =
+  if State.los_belt st = None then
+    invalid_arg "Schedule.alloc_large: configuration has no large object space";
+  let fw = Memory.frame_words st.State.mem in
+  let k = (size + fw - 1) / fw in
+  let max_attempts = (2 * State.total_increments st) + 16 in
+  let rec go attempts =
+    if attempts > max_attempts then
+      raise
+        (State.Out_of_memory
+           (Printf.sprintf "no progress making room for a %d-word large object" size));
+    if Trigger.remset_due st || Trigger.heap_full st ~incoming_frames:k then begin
+      match collect_now st ~reason:"heap-full" with
+      | Some _ -> go (attempts + 1)
+      | None ->
+        raise
+          (State.Out_of_memory
+             (Printf.sprintf "nothing collectible for a %d-word large object" size))
+    end
+    else State.new_pinned_increment st ~size
+  in
+  go 0
+
+let prepare_alloc_in st ~belt ~size =
+  (* Pretenured allocation (segregation by allocation site, paper S5):
+     bump directly in the open increment of a higher belt. Only the
+     heap-full and remset triggers apply — nursery-specific triggers
+     (bound, TTD) govern belt 0 only. *)
+  if belt < 1 || belt >= State.regular_belts st then
+    invalid_arg (Printf.sprintf "Schedule.prepare_alloc_in: bad belt %d" belt);
+  if size > Memory.frame_words st.State.mem then
+    invalid_arg
+      (Printf.sprintf "allocation of %d words exceeds the %d-word frame size" size
+         (Memory.frame_words st.State.mem));
+  let max_attempts = (2 * State.total_increments st) + 16 in
+  let rec go attempts =
+    if attempts > max_attempts then
+      raise
+        (State.Out_of_memory
+           (Printf.sprintf "no progress pretenuring a %d-word allocation on belt %d"
+              size belt));
+    let collect reason =
+      match collect_now st ~reason with
+      | Some _ -> go (attempts + 1)
+      | None ->
+        raise
+          (State.Out_of_memory
+             (Printf.sprintf "nothing collectible for a pretenured %d-word allocation"
+                size))
+    in
+    let inc = State.open_inc st ~belt ~in_plan:(fun _ -> false) in
+    if
+      (not inc.Increment.sealed)
+      && inc.Increment.cursor <> Addr.null
+      && inc.Increment.cursor + size <= inc.Increment.limit
+    then inc
+    else if Trigger.remset_due st then collect "remset"
+    else if Trigger.heap_full st ~incoming_frames:1 then collect "heap-full"
+    else begin
+      State.grant_frame st inc ~during_gc:false;
+      go attempts
+    end
+  in
+  go 0
+
+let prepare_alloc st ~size =
+  if size > Memory.frame_words st.State.mem then
+    invalid_arg
+      (Printf.sprintf "allocation of %d words exceeds the %d-word frame size" size
+         (Memory.frame_words st.State.mem));
+  let max_attempts = (2 * State.total_increments st) + 16 in
+  let rec go attempts =
+    if attempts > max_attempts then
+      raise
+        (State.Out_of_memory
+           (Printf.sprintf
+              "no progress after %d collections for a %d-word allocation (heap %d \
+               frames, %d used, reserve %d)"
+              attempts size st.State.heap_frames st.State.frames_used
+              (Copy_reserve.frames st)));
+    let collect reason =
+      match collect_now st ~reason with
+      | Some _ -> go (attempts + 1)
+      | None ->
+        raise
+          (State.Out_of_memory
+             (Printf.sprintf "nothing collectible for a %d-word allocation" size))
+    in
+    let nur = nursery st in
+    if
+      (not nur.Increment.sealed)
+      && nur.Increment.cursor <> Addr.null
+      && nur.Increment.cursor + size <= nur.Increment.limit
+    then nur
+    else if Trigger.remset_due st then collect "remset"
+    else if Trigger.nursery_full st ~size then
+      (* Nursery trigger: only meaningful for Lowest_belt policies;
+         Global_fifo (older-first) configurations instead open another
+         increment on the allocation belt if there is room. *)
+      match st.State.config.Config.order with
+      | Config.Lowest_belt -> collect "nursery"
+      | Config.Global_fifo ->
+        if Trigger.heap_full st ~incoming_frames:1 then collect "heap-full"
+        else begin
+          let fresh = State.new_increment st ~belt:0 in
+          State.grant_frame st fresh ~during_gc:false;
+          go attempts
+        end
+    else if Trigger.heap_full st ~incoming_frames:1 then collect "heap-full"
+    else if Trigger.ttd_due st then begin
+      (* Time-to-die: seal the current nursery increment and direct the
+         youngest allocation into a fresh one that the next nursery
+         collection will spare. *)
+      Increment.seal nur;
+      let fresh = State.new_increment st ~belt:0 in
+      State.grant_frame st fresh ~during_gc:false;
+      go attempts
+    end
+    else begin
+      State.grant_frame st nur ~during_gc:false;
+      go attempts
+    end
+  in
+  go 0

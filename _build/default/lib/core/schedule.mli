@@ -1,0 +1,65 @@
+(** The collection schedule: when to collect, and what.
+
+    The schedule turns the configuration's policy knobs into concrete
+    plans:
+
+    - {e plan shape}: a plan is always the downward closure, in collect
+      stamp order, of a chosen target increment — every live increment
+      stamped no later than the target is collected with it. This is
+      what makes independent increment collection sound: pointers into
+      the plan from outside it are exactly the remembered ones.
+    - {e target choice}: [Lowest_belt] configurations pick the front
+      increment of the lowest belt whose front is worth collecting
+      (generational / Beltway behaviour: prefer young, FIFO within a
+      belt); [Global_fifo] configurations pick the globally oldest
+      increment (semi-space, older-first).
+    - {e feasibility}: if the chosen plan's evacuation cannot fit in the
+      free frames, the schedule degrades to a lower-belt target; the
+      dynamic copy reserve guarantees at least the nursery plan fits.
+    - {e BOF flip}: when the allocation belt empties, the belts swap
+      roles and the epoch advances before allocation resumes.
+
+    [prepare_alloc] is the mutator-facing entry point: after it
+    returns, the nursery increment can satisfy the requested bump
+    allocation. It runs the trigger cascade (nursery bound, remset
+    threshold, time-to-die split, heap-full) and raises
+    [State.Out_of_memory] when a full cascade cannot make room — the
+    analogue of a benchmark failing at a heap size in the paper. *)
+
+val nursery : State.t -> Increment.t
+(** The open nursery increment, creating one (flipping belts first if
+    the configuration flips and the allocation belt is empty). *)
+
+val choose_plan : State.t -> reason:string -> Collector.plan option
+(** Select a feasible plan per policy; [None] when nothing is
+    collectible (empty heap). *)
+
+val collect_now : State.t -> reason:string -> Gc_stats.collection option
+(** Choose a plan and run it. *)
+
+val full_collect : State.t -> Gc_stats.collection option
+(** Collect everything (closure of the highest-stamped increment).
+    Exposed for tests and for complete configurations' last resort;
+    respects feasibility (may raise [State.Out_of_memory]). *)
+
+val prepare_alloc : State.t -> size:int -> Increment.t
+(** Make room for a [size]-word bump allocation in the nursery and
+    return the (open, non-full) nursery increment.
+    @raise State.Out_of_memory when the heap is too small.
+    @raise Invalid_argument if [size] exceeds a frame. *)
+
+val prepare_alloc_in : State.t -> belt:int -> size:int -> Increment.t
+(** Make room for a pretenured [size]-word bump allocation on a higher
+    belt (segregation by allocation site, paper S5) and return that
+    belt's open increment. Only the heap-full and remset triggers
+    apply.
+    @raise Invalid_argument for belt 0 (use {!prepare_alloc}), an
+    out-of-range belt, or an oversized request.
+    @raise State.Out_of_memory when the heap is too small. *)
+
+val alloc_large : State.t -> size:int -> Increment.t
+(** Allocate a [size]-word pinned large object on the LOS belt, running
+    the collection cascade first if the frames it needs would eat into
+    the copy reserve. Returns the new single-object increment.
+    @raise State.Out_of_memory when the heap is too small.
+    @raise Invalid_argument when the configuration has no LOS. *)

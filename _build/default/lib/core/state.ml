@@ -1,0 +1,192 @@
+exception Out_of_memory of string
+
+type t = {
+  mem : Memory.t;
+  boot : Boot_space.t;
+  types : Type_registry.t;
+  roots : Roots.t;
+  finfo : Frame_info.t;
+  config : Config.t;
+  heap_frames : int;
+  belts : Belt.t array;
+  belt_bounds : int option array;
+  remsets : Remset.t;
+  cards : Card_table.t;
+  stats : Gc_stats.t;
+  incs_by_id : (int, Increment.t) Hashtbl.t;
+  mutable frames_used : int;
+  mutable next_inc_id : int;
+  mutable seq : int;
+  mutable epoch : int;
+  mutable in_gc : bool;
+  mutable gcs_this_alloc : int;
+  mutable live_est_frames : int;
+      (* survivors of the most recent full-heap collection; 0 = none
+         yet. A cheap live-set statistic for diagnostics and tests. *)
+}
+
+let create ~config ~heap_frames ~frame_log_words =
+  let config =
+    match Config.validate config with
+    | Ok c -> c
+    | Error e -> invalid_arg ("State.create: invalid configuration: " ^ e)
+  in
+  if heap_frames < 4 then invalid_arg "State.create: heap_frames must be >= 4";
+  (* Headroom above the budget: boot space plus slack so that budget
+     exhaustion surfaces as Out_of_memory (policy), never as the
+     memory substrate running dry (mechanism). *)
+  let mem =
+    Memory.create ~frame_log_words ~max_frames:((heap_frames * 2) + 64)
+  in
+  let boot = Boot_space.create mem in
+  let types = Type_registry.create mem boot in
+  let finfo = Frame_info.create () in
+  let regular = Array.length config.Config.belts in
+  (* The large object space, when enabled, is one extra belt above all
+     configured belts: its pinned increments carry the highest stamps,
+     so they are reached only by plans that already cover everything
+     below — and pointers out of large objects are always remembered. *)
+  let nbelts = regular + if config.Config.los_threshold <> None then 1 else 0 in
+  let belts = Array.init nbelts (fun index -> Belt.create ~index) in
+  let belt_bounds =
+    Array.init nbelts (fun i ->
+        if i < regular then
+          Config.resolve_bound config ~heap_frames config.Config.belts.(i).Config.bound
+        else None)
+  in
+  {
+    mem;
+    boot;
+    types;
+    roots = Roots.create ();
+    finfo;
+    config;
+    heap_frames;
+    belts;
+    belt_bounds;
+    remsets = Remset.create ();
+    cards = Card_table.create ();
+    stats = Gc_stats.create ();
+    incs_by_id = Hashtbl.create 64;
+    frames_used = 0;
+    next_inc_id = 0;
+    seq = 0;
+    epoch = 0;
+    in_gc = false;
+    gcs_this_alloc = 0;
+    live_est_frames = 0;
+  }
+
+let heap_words t = t.heap_frames * Memory.frame_words t.mem
+let free_frames t = t.heap_frames - t.frames_used
+let total_increments t = Hashtbl.length t.incs_by_id
+
+let live_words t =
+  Array.fold_left (fun acc b -> acc + Belt.words_used b) 0 t.belts
+
+let stamp_for_belt t belt =
+  let priority =
+    match t.config.Config.stamp_mode with
+    | Config.Belt_major -> belt
+    | Config.Epoch -> t.epoch + belt
+  in
+  let s = (priority * Frame_info.priority_unit) + t.seq in
+  t.seq <- t.seq + 1;
+  s
+
+let new_increment t ~belt =
+  let id = t.next_inc_id in
+  t.next_inc_id <- id + 1;
+  let inc =
+    Increment.create ~id ~belt
+      ~stamp:(stamp_for_belt t belt)
+      ~bound_frames:t.belt_bounds.(belt)
+  in
+  Hashtbl.replace t.incs_by_id id inc;
+  Belt.push_back t.belts.(belt) inc;
+  inc
+
+let grant_frame t inc ~during_gc =
+  if t.frames_used >= t.heap_frames then
+    raise
+      (Out_of_memory
+         (Printf.sprintf
+            "frame budget exhausted (%d frames)%s" t.heap_frames
+            (if during_gc then " during collection: copy reserve insufficient"
+             else "")));
+  let frame = Memory.alloc_frame t.mem in
+  t.frames_used <- t.frames_used + 1;
+  t.stats.Gc_stats.frames_allocated <- t.stats.Gc_stats.frames_allocated + 1;
+  if t.frames_used > t.stats.Gc_stats.peak_frames then
+    t.stats.Gc_stats.peak_frames <- t.frames_used;
+  Frame_info.set t.finfo ~frame ~stamp:inc.Increment.stamp ~incr:inc.Increment.id;
+  Increment.add_frame inc t.mem frame
+
+let open_inc t ~belt ~in_plan =
+  match Belt.back t.belts.(belt) with
+  | Some inc
+    when (not inc.Increment.sealed) && (not (Increment.at_bound inc))
+         && not (in_plan inc) ->
+    inc
+  | _ -> new_increment t ~belt
+
+let free_increment t inc =
+  Beltway_util.Vec.iter
+    (fun frame ->
+      Remset.drop_frame t.remsets frame;
+      Card_table.clear t.cards ~frame;
+      Frame_info.clear t.finfo ~frame;
+      Memory.free_frame t.mem frame;
+      t.frames_used <- t.frames_used - 1)
+    inc.Increment.frames;
+  Belt.remove t.belts.(inc.Increment.belt) inc;
+  Hashtbl.remove t.incs_by_id inc.Increment.id
+
+let inc_of_frame t frame =
+  let id = Frame_info.incr_of t.finfo frame in
+  if id < 0 then None else Hashtbl.find_opt t.incs_by_id id
+
+let live_increments t =
+  Array.to_list t.belts
+  |> List.concat_map (fun b -> Belt.fold b ~init:[] ~f:(fun acc i -> i :: acc) |> List.rev)
+
+let frame_of_addr t a = Memory.addr_frame t.mem a
+let stamp_of_addr t a = Frame_info.stamp t.finfo (frame_of_addr t a)
+
+let regular_belts t = Array.length t.config.Config.belts
+
+let los_belt t =
+  if t.config.Config.los_threshold <> None then Some (regular_belts t) else None
+
+let new_pinned_increment t ~size =
+  let belt =
+    match los_belt t with
+    | Some b -> b
+    | None -> invalid_arg "State.new_pinned_increment: no large object space"
+  in
+  let fw = Memory.frame_words t.mem in
+  let k = (size + fw - 1) / fw in
+  if t.frames_used + k > t.heap_frames then
+    raise
+      (Out_of_memory
+         (Printf.sprintf "large object of %d words does not fit (%d frames needed, %d free)"
+            size k (t.heap_frames - t.frames_used)));
+  let frames = Memory.alloc_frames_contiguous t.mem k in
+  t.frames_used <- t.frames_used + k;
+  t.stats.Gc_stats.frames_allocated <- t.stats.Gc_stats.frames_allocated + k;
+  if t.frames_used > t.stats.Gc_stats.peak_frames then
+    t.stats.Gc_stats.peak_frames <- t.frames_used;
+  let id = t.next_inc_id in
+  t.next_inc_id <- id + 1;
+  let stamp = stamp_for_belt t belt in
+  let inc = Increment.create_pinned ~id ~belt ~stamp ~frames t.mem ~size in
+  List.iter (fun frame -> Frame_info.set t.finfo ~frame ~stamp ~incr:id) frames;
+  Hashtbl.replace t.incs_by_id id inc;
+  Belt.push_back t.belts.(belt) inc;
+  inc
+
+let flip_belts t =
+  if not t.config.Config.flip then
+    invalid_arg "State.flip_belts: configuration does not flip";
+  Belt.swap_contents t.belts.(0) t.belts.(1);
+  t.epoch <- t.epoch + 1

@@ -1,0 +1,101 @@
+(** The mutable collector state shared by the barrier, triggers,
+    collector and schedule.
+
+    Layering: [State] owns the belts, frame budget and stamp counters
+    and offers mechanical operations (create an increment, grant it a
+    frame, free it); [Write_barrier], [Copy_reserve], [Collector] and
+    [Trigger]/[Schedule] implement policy over it; [Gc] is the public
+    facade. *)
+
+exception Out_of_memory of string
+(** The program does not fit this heap size under this configuration —
+    the analogue of a benchmark "failing to run" at a heap size in the
+    paper's figures. *)
+
+type t = {
+  mem : Memory.t;
+  boot : Boot_space.t;
+  types : Type_registry.t;
+  roots : Roots.t;
+  finfo : Frame_info.t;
+  config : Config.t;
+  heap_frames : int; (** collector-owned frame budget *)
+  belts : Belt.t array;
+  belt_bounds : int option array; (** resolved increment bounds per belt *)
+  remsets : Remset.t;
+  cards : Card_table.t; (** used when the configuration selects [Cards] *)
+  stats : Gc_stats.t;
+  incs_by_id : (int, Increment.t) Hashtbl.t;
+  mutable frames_used : int;
+  mutable next_inc_id : int;
+  mutable seq : int; (** stamp sequence counter *)
+  mutable epoch : int; (** epoch for [Epoch] stamp mode (BOF flips) *)
+  mutable in_gc : bool;
+  mutable gcs_this_alloc : int; (** cascade guard *)
+  mutable live_est_frames : int;
+      (** survivors of the most recent full-heap collection (0 before
+          the first): a cheap live-set statistic. *)
+}
+
+val create : config:Config.t -> heap_frames:int -> frame_log_words:int -> t
+(** Fresh state with an empty heap. [heap_frames] is the collector's
+    budget; the underlying memory is sized with headroom for the boot
+    space. @raise Invalid_argument on a configuration that fails
+    [Config.validate]. *)
+
+val heap_words : t -> int
+val free_frames : t -> int
+val total_increments : t -> int
+val live_words : t -> int
+(** Sum of increment occupancy in words (an upper bound on live data;
+    includes garbage not yet collected). *)
+
+val stamp_for_belt : t -> int -> int
+(** Next collect stamp for an increment created on the given belt
+    (consumes a sequence number). *)
+
+val new_increment : t -> belt:int -> Increment.t
+(** Create an empty increment at the back of the belt. *)
+
+val grant_frame : t -> Increment.t -> during_gc:bool -> unit
+(** Give the increment one more frame, charging the budget and stamping
+    the frame. @raise Out_of_memory when the budget is exhausted (the
+    schedule must prevent this for mutator allocation; during GC it
+    means the copy reserve was insufficient despite padding, i.e. the
+    heap is simply too small). *)
+
+val open_inc : t -> belt:int -> in_plan:(Increment.t -> bool) -> Increment.t
+(** The back increment of the belt if it can still receive objects and
+    is not in the current plan; otherwise a fresh increment. *)
+
+val free_increment : t -> Increment.t -> unit
+(** Release a collected increment: frames returned, frame metadata and
+    remsets relating to its frames dropped, removed from its belt. *)
+
+val inc_of_frame : t -> int -> Increment.t option
+(** Owning increment of a frame, if any. *)
+
+val live_increments : t -> Increment.t list
+(** All increments, front-to-back per belt, belts in index order. *)
+
+val frame_of_addr : t -> Addr.t -> int
+val stamp_of_addr : t -> Addr.t -> int
+
+val regular_belts : t -> int
+(** Number of configured belts (excluding the LOS belt, if any). *)
+
+val los_belt : t -> int option
+(** Index of the large-object-space belt when the configuration
+    enables one ([+los:N]); always the highest belt. *)
+
+val new_pinned_increment : t -> size:int -> Increment.t
+(** Allocate a pinned single-object increment of [size] words on the
+    LOS belt (contiguous frames, charged to the budget). The caller
+    (schedule) must have made room first.
+    @raise Out_of_memory if the budget cannot cover it.
+    @raise Invalid_argument when the configuration has no LOS. *)
+
+val flip_belts : t -> unit
+(** BOF flip: swap belt 0 and belt 1 contents and advance the epoch.
+    @raise Invalid_argument unless the configuration enables
+    flipping. *)

@@ -1,0 +1,23 @@
+let nursery_full st ~size =
+  match Belt.back st.State.belts.(0) with
+  | None -> false
+  | Some inc ->
+    Increment.at_bound inc
+    && (inc.Increment.cursor = Addr.null
+       || inc.Increment.cursor + size > inc.Increment.limit)
+
+let remset_due st =
+  match st.State.config.Config.remset_trigger with
+  | None -> false
+  | Some threshold -> Remset.total_entries st.State.remsets > threshold
+
+let heap_full st ~incoming_frames =
+  st.State.frames_used + incoming_frames + Copy_reserve.frames st
+  > st.State.heap_frames
+
+let ttd_due st =
+  match st.State.config.Config.ttd_frames with
+  | None -> false
+  | Some ttd ->
+    Belt.length st.State.belts.(0) = 1
+    && st.State.frames_used + ttd + Copy_reserve.frames st >= st.State.heap_frames

@@ -1,0 +1,30 @@
+(** Collection triggers (paper S3.3.3).
+
+    Beltway collectors do not only collect when the heap is full; these
+    predicates let the schedule preempt identifiable future problems:
+
+    - {e nursery trigger}: the single nursery increment reached its
+      bound — collect young objects now;
+    - {e remset trigger}: remembered sets grew past a threshold —
+      entries are collection roots, so survival rate and scan time
+      climb with them;
+    - {e time-to-die trigger}: within TTD bytes of heap-full, redirect
+      allocation into a second nursery increment so the most recently
+      allocated objects are not collected before they have had [TTD]
+      bytes of allocation to die. *)
+
+val nursery_full : State.t -> size:int -> bool
+(** The open nursery increment cannot accept [size] more words without
+    exceeding its bound. *)
+
+val remset_due : State.t -> bool
+(** The configured remset threshold is exceeded. *)
+
+val heap_full : State.t -> incoming_frames:int -> bool
+(** Granting [incoming_frames] more frames would eat into the copy
+    reserve. *)
+
+val ttd_due : State.t -> bool
+(** The time-to-die window has been reached and the nursery should be
+    split (only when a TTD is configured and the nursery is still a
+    single increment). *)

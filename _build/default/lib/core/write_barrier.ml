@@ -1,0 +1,35 @@
+let would_remember st ~src_frame ~tgt_frame =
+  src_frame <> tgt_frame
+  && Frame_info.stamp st.State.finfo tgt_frame
+     < Frame_info.stamp st.State.finfo src_frame
+
+(* Is the frame part of the open nursery increment? Used only when the
+   configuration enables the filter (single-increment nursery). *)
+let in_nursery st frame =
+  match Belt.back st.State.belts.(0) with
+  | None -> false
+  | Some inc -> Frame_info.incr_of st.State.finfo frame = inc.Increment.id
+
+let record st ~slot ~target =
+  let stats = st.State.stats in
+  stats.Gc_stats.barrier_ops <- stats.Gc_stats.barrier_ops + 1;
+  let frame_log = Memory.frame_log st.State.mem in
+  let s = slot lsr frame_log in
+  let t = target lsr frame_log in
+  match st.State.config.Config.barrier with
+  | Config.Cards ->
+    (* Unconditional card marking: no stamp comparison at all; the
+       collector pays by scanning dirty frames. *)
+    Card_table.mark st.State.cards ~frame:s;
+    stats.Gc_stats.barrier_fast <- stats.Gc_stats.barrier_fast + 1
+  | Config.Remsets ->
+    if st.State.config.Config.nursery_filter && in_nursery st s then
+      stats.Gc_stats.barrier_filtered <- stats.Gc_stats.barrier_filtered + 1
+    else if
+      s <> t
+      && Frame_info.stamp st.State.finfo t < Frame_info.stamp st.State.finfo s
+    then begin
+      stats.Gc_stats.barrier_slow <- stats.Gc_stats.barrier_slow + 1;
+      Remset.insert st.State.remsets ~src_frame:s ~tgt_frame:t ~slot
+    end
+    else stats.Gc_stats.barrier_fast <- stats.Gc_stats.barrier_fast + 1

@@ -1,0 +1,28 @@
+(** The frame-based unidirectional write barrier (paper Figure 4).
+
+    Executed on every pointer store. The fast path is a shift, a
+    compare and two stamp loads; the slow path inserts the *slot
+    address* into the remembered set for the (source frame, target
+    frame) pair. A pointer is remembered only when the target frame
+    would be collected sooner than the source frame
+    ([collect(t) < collect(s)]), which makes the barrier
+    unidirectional with respect to frames; intra-frame — and, because
+    an increment's frames share a stamp, intra-increment — pointers
+    are never remembered.
+
+    The optional nursery-source filter (S3.3.2) skips even the stamp
+    comparison when the source lies in the single nursery increment,
+    eliminating the remset work for type-object (TIB) initialisation
+    writes; it is sound exactly because under belt-major ordering the
+    nursery's stamp is minimal, so the predicate could never hold. *)
+
+val record : State.t -> slot:Addr.t -> target:Addr.t -> unit
+(** [record st ~slot ~target]: the mutator stored a reference to
+    [target] into the heap word at [slot]. Must be called *after* the
+    store (entries are validated by re-reading slots at collection).
+    Never called for null/immediate stores. *)
+
+val would_remember : State.t -> src_frame:int -> tgt_frame:int -> bool
+(** The bare predicate (exposed for tests and the collector's re-record
+    path): true iff a pointer from [src_frame] to [tgt_frame] must be
+    remembered. *)

@@ -1,0 +1,1 @@
+lib/heap/boot_space.ml: Addr Beltway_util Hashtbl Memory Object_model

@@ -1,0 +1,1 @@
+lib/heap/boot_space.mli: Addr Memory Value

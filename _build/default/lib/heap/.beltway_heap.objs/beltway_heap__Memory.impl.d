@@ -1,0 +1,1 @@
+lib/heap/memory.ml: Addr Array Beltway_util List Printf

@@ -1,0 +1,1 @@
+lib/heap/memory.mli: Addr

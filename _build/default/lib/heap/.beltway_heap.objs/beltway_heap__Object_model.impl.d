@@ -1,0 +1,1 @@
+lib/heap/object_model.ml: Memory Printf Value

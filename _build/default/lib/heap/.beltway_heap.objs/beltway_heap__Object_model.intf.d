@@ -1,0 +1,1 @@
+lib/heap/object_model.mli: Addr Memory Value

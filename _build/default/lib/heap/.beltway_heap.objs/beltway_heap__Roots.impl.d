@@ -1,0 +1,1 @@
+lib/heap/roots.ml: Beltway_util Value

@@ -1,0 +1,1 @@
+lib/heap/type_registry.ml: Beltway_util Boot_space Hashtbl Memory Object_model Printf Value

@@ -1,0 +1,1 @@
+lib/heap/type_registry.mli: Boot_space Memory Value

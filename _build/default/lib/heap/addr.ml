@@ -1,0 +1,9 @@
+type t = int
+
+let null = 0
+let bytes_per_word = 4
+let frame_of ~frame_log a = a lsr frame_log
+let offset_of ~frame_log a = a land ((1 lsl frame_log) - 1)
+let make ~frame_log ~frame ~offset = (frame lsl frame_log) lor offset
+let same_frame ~frame_log a b = a lsr frame_log = b lsr frame_log
+let pp fmt a = Format.fprintf fmt "@0x%x" a

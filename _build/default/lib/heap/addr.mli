@@ -1,0 +1,33 @@
+(** Simulated virtual addresses.
+
+    The reproduction models a 32-bit-era heap (the paper's PowerMac G4)
+    as a word-addressable virtual address space. An address is a word
+    index packed as [frame lsl frame_log + offset], so — exactly as in
+    the paper (S3.3.1) — frames are power-of-two aligned and the frame
+    of an address is a single shift. Frame 0 is reserved so that the
+    integer 0 is never a valid object address and can serve as null. *)
+
+type t = int
+(** Word index into the simulated address space. [0] is null/invalid. *)
+
+val null : t
+
+val bytes_per_word : int
+(** 4: the paper's 32-bit platform. All "bytes" figures reported by the
+    harness are [words * bytes_per_word]. *)
+
+val frame_of : frame_log:int -> t -> int
+(** The paper's [source >>> FRAME_SIZE_LOG] (Figure 4, line 3). *)
+
+val offset_of : frame_log:int -> t -> int
+(** Word offset within the frame. *)
+
+val make : frame_log:int -> frame:int -> offset:int -> t
+(** Pack a frame index and word offset into an address. *)
+
+val same_frame : frame_log:int -> t -> t -> bool
+(** The paper's intra-frame test: shift and compare. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex-ish rendering [f<frame>+<offset>] is not possible without the
+    frame size; prints the raw word index. *)

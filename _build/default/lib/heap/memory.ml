@@ -1,0 +1,108 @@
+type t = {
+  frame_log : int;
+  frame_words : int;
+  max_frames : int;
+  mutable backing : int array option array; (* indexed by frame; None = unmapped *)
+  free_list : int Beltway_util.Vec.t; (* recycled frame indices *)
+  recycled : int array Beltway_util.Vec.t; (* recycled backing arrays *)
+  mutable next_fresh : int; (* next never-used frame index *)
+  mutable live : int;
+}
+
+let create ~frame_log_words ~max_frames =
+  if frame_log_words < 4 then invalid_arg "Memory.create: frame_log_words < 4";
+  if max_frames < 1 then invalid_arg "Memory.create: max_frames < 1";
+  {
+    frame_log = frame_log_words;
+    frame_words = 1 lsl frame_log_words;
+    max_frames;
+    backing = Array.make (max_frames + 2) None;
+    free_list = Beltway_util.Vec.create ~dummy:0 ();
+    recycled = Beltway_util.Vec.create ~dummy:[||] ();
+    next_fresh = 1 (* frame 0 reserved: address 0 is null *);
+    live = 0;
+  }
+
+let frame_log t = t.frame_log
+let frame_words t = t.frame_words
+let frame_bytes t = t.frame_words * Addr.bytes_per_word
+let max_frames t = t.max_frames
+let live_frames t = t.live
+
+exception Out_of_frames
+
+let grow_backing t needed =
+  let cap = Array.length t.backing in
+  if needed >= cap then begin
+    let backing = Array.make (max (needed + 1) (cap * 2)) None in
+    Array.blit t.backing 0 backing 0 cap;
+    t.backing <- backing
+  end
+
+let alloc_frame t =
+  if t.live >= t.max_frames then raise Out_of_frames;
+  let idx =
+    if not (Beltway_util.Vec.is_empty t.free_list) then
+      Beltway_util.Vec.pop t.free_list
+    else begin
+      let idx = t.next_fresh in
+      t.next_fresh <- idx + 1;
+      grow_backing t idx;
+      idx
+    end
+  in
+  let store =
+    if not (Beltway_util.Vec.is_empty t.recycled) then begin
+      let a = Beltway_util.Vec.pop t.recycled in
+      Array.fill a 0 t.frame_words 0;
+      a
+    end
+    else Array.make t.frame_words 0
+  in
+  t.backing.(idx) <- Some store;
+  t.live <- t.live + 1;
+  idx
+
+let alloc_frames_contiguous t n =
+  if n < 1 then invalid_arg "Memory.alloc_frames_contiguous: n < 1";
+  if t.live + n > t.max_frames then raise Out_of_frames;
+  let first = t.next_fresh in
+  t.next_fresh <- first + n;
+  grow_backing t (first + n - 1);
+  List.init n (fun i ->
+      let idx = first + i in
+      let store =
+        if not (Beltway_util.Vec.is_empty t.recycled) then begin
+          let a = Beltway_util.Vec.pop t.recycled in
+          Array.fill a 0 t.frame_words 0;
+          a
+        end
+        else Array.make t.frame_words 0
+      in
+      t.backing.(idx) <- Some store;
+      t.live <- t.live + 1;
+      idx)
+
+let is_live t idx =
+  idx >= 1 && idx < Array.length t.backing && t.backing.(idx) <> None
+
+let free_frame t idx =
+  match if idx >= 0 && idx < Array.length t.backing then t.backing.(idx) else None with
+  | None -> invalid_arg (Printf.sprintf "Memory.free_frame: frame %d not live" idx)
+  | Some store ->
+    t.backing.(idx) <- None;
+    Beltway_util.Vec.push t.free_list idx;
+    Beltway_util.Vec.push t.recycled store;
+    t.live <- t.live - 1
+
+let store_of t a name =
+  if a = Addr.null then invalid_arg (Printf.sprintf "Memory.%s: null address" name);
+  let f = a lsr t.frame_log in
+  match if f < Array.length t.backing then t.backing.(f) else None with
+  | None -> invalid_arg (Printf.sprintf "Memory.%s: address %#x in dead frame %d" name a f)
+  | Some store -> store
+
+let get t a = (store_of t a "get").(a land (t.frame_words - 1))
+let set t a v = (store_of t a "set").(a land (t.frame_words - 1)) <- v
+let frame_base t idx = idx lsl t.frame_log
+let addr_frame t a = a lsr t.frame_log

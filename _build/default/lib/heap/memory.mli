@@ -1,0 +1,69 @@
+(** The simulated physical memory: a set of frames.
+
+    A frame is an aligned, contiguous, power-of-two-sized region of the
+    virtual address space (paper S3.3.1). Memory hands out frames,
+    reclaims them, and services word-granularity loads and stores.
+    Frames are backed lazily by OCaml int arrays; a freed frame's
+    backing store is recycled through a free list, mimicking a virtual
+    memory manager that maps and unmaps page runs.
+
+    The *heap budget* (how many frames a collector configuration may
+    hold at once) is enforced by the GC layer, not here: this module is
+    the machine, not the policy. *)
+
+type t
+
+val create : frame_log_words:int -> max_frames:int -> t
+(** [create ~frame_log_words ~max_frames]: frames hold
+    [2^frame_log_words] words each; at most [max_frames] (excluding the
+    reserved frame 0) may be live at once.
+    @raise Invalid_argument if [frame_log_words < 4] or
+    [max_frames < 1]. *)
+
+val frame_log : t -> int
+val frame_words : t -> int
+val frame_bytes : t -> int
+val max_frames : t -> int
+
+val live_frames : t -> int
+(** Number of frames currently allocated. *)
+
+exception Out_of_frames
+(** Raised by {!alloc_frame} when [max_frames] are already live. The GC
+    layer treats its own budget exhaustion before this can trigger;
+    seeing it escape indicates a collector bug (copy-reserve
+    violation). *)
+
+val alloc_frame : t -> int
+(** Allocate a frame; its words are zeroed. Returns the frame index
+    (>= 1). *)
+
+val alloc_frames_contiguous : t -> int -> int list
+(** Allocate [n] frames with consecutive indices — hence contiguous
+    addresses — for objects larger than one frame (large object
+    space). Always taken from fresh virtual space (never the recycle
+    list), so heavy large-object churn consumes virtual frame indices;
+    the backing stores are still recycled.
+    @raise Out_of_frames if fewer than [n] frames remain in the
+    budget. @raise Invalid_argument if [n < 1]. *)
+
+val free_frame : t -> int -> unit
+(** Return a frame to the free list. @raise Invalid_argument if the
+    frame is not live. *)
+
+val is_live : t -> int -> bool
+(** Whether the frame index is currently allocated. *)
+
+val get : t -> Addr.t -> int
+(** Load the word at an address. @raise Invalid_argument on a null
+    address or a dead frame (catching use-after-free / wild pointers in
+    tests). *)
+
+val set : t -> Addr.t -> int -> unit
+(** Store a word. Same failure modes as {!get}. *)
+
+val frame_base : t -> int -> Addr.t
+(** Address of word 0 of a frame. *)
+
+val addr_frame : t -> Addr.t -> int
+(** Frame index of an address (shift). *)

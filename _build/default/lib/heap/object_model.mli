@@ -1,0 +1,69 @@
+(** Object layout on the simulated heap.
+
+    Every object is a variable-length record of tagged slots with a
+    two-word header:
+
+    {v
+      offset 0   status : nfields lsl 1           (bit0 = 0)
+                        | (forwarded lsl 1) or 1  (bit0 = 1, during GC)
+      offset 1   tib    : Value ref to the type object (boot space)
+      offset 2+i field i: Value.t
+    v}
+
+    The [tib] slot reproduces Jikes RVM's type-information-block
+    reference: it is written at birth through the write barrier, and —
+    because type objects live in the (old, immortal) boot space — it is
+    the dominant source of barrier activity that motivates the paper's
+    nursery-source filter (S3.3.2). The collector scans [tib] like any
+    other slot.
+
+    Forwarding pointers overwrite the status word during collection,
+    exactly as a real copying collector clobbers the header. *)
+
+val header_words : int
+(** 2. *)
+
+val size_words : nfields:int -> int
+(** Total footprint of an object with [nfields] fields. *)
+
+val max_fields : Memory.t -> int
+(** Largest representable object for this memory's frame size. *)
+
+val init : Memory.t -> Addr.t -> tib:Value.t -> nfields:int -> unit
+(** Write a fresh header at [addr]; fields are expected pre-zeroed
+    (frames are zero-filled; bump allocation preserves this). *)
+
+val nfields : Memory.t -> Addr.t -> int
+(** @raise Invalid_argument if the object is forwarded (callers must
+    check {!forwarded} first during collection). *)
+
+val size_of : Memory.t -> Addr.t -> int
+(** Footprint in words of the (non-forwarded) object at [addr]. *)
+
+val tib : Memory.t -> Addr.t -> Value.t
+val set_tib : Memory.t -> Addr.t -> Value.t -> unit
+
+val get_field : Memory.t -> Addr.t -> int -> Value.t
+(** @raise Invalid_argument when the index is out of bounds. *)
+
+val set_field : Memory.t -> Addr.t -> int -> Value.t -> unit
+(** Raw store; the GC-aware write path (with barrier) lives in
+    [Beltway.Gc.write]. *)
+
+val field_addr : Addr.t -> int -> Addr.t
+(** Address of field slot [i] (for remembered-set entries, which record
+    slot addresses). *)
+
+val tib_addr : Addr.t -> Addr.t
+(** Address of the tib slot. *)
+
+val forwarded : Memory.t -> Addr.t -> Addr.t option
+(** [Some new_addr] when the status word carries a forwarding
+    pointer. *)
+
+val set_forwarding : Memory.t -> Addr.t -> Addr.t -> unit
+(** Install a forwarding pointer over the status word. *)
+
+val iter_ref_slots : Memory.t -> Addr.t -> (Addr.t -> unit) -> unit
+(** Apply [f] to the address of every slot (tib + fields) holding a
+    reference. Used by the collector's scan loop and by the oracle. *)

@@ -1,0 +1,37 @@
+module Vec = Beltway_util.Vec
+
+type t = { globals : Value.t Vec.t; stack : Value.t Vec.t }
+type global = int
+
+let create () =
+  { globals = Vec.create ~dummy:Value.null (); stack = Vec.create ~dummy:Value.null () }
+
+let new_global t v =
+  let id = Vec.length t.globals in
+  Vec.push t.globals v;
+  id
+
+let get_global t g = Vec.get t.globals g
+let set_global t g v = Vec.set t.globals g v
+let global_count t = Vec.length t.globals
+let global_of_int i = i
+
+let push t v = Vec.push t.stack v
+let pop t = Vec.pop t.stack
+
+let peek t i = Vec.get t.stack (Vec.length t.stack - 1 - i)
+let set_peek t i v = Vec.set t.stack (Vec.length t.stack - 1 - i) v
+let stack_get t i = Vec.get t.stack i
+let stack_set t i v = Vec.set t.stack i v
+let mark t = Vec.length t.stack
+let release t m = Vec.truncate t.stack m
+let depth t = Vec.length t.stack
+
+let iter_update t f =
+  let update vec = Vec.iteri (fun i v -> Vec.set vec i (f v)) vec in
+  update t.globals;
+  update t.stack
+
+let iter t f =
+  Vec.iter f t.globals;
+  Vec.iter f t.stack

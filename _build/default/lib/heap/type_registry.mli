@@ -1,0 +1,31 @@
+(** Types and their boot-space type objects (TIBs).
+
+    Each registered type gets an immortal *type object* in the boot
+    space; newly allocated objects reference it through their [tib]
+    header slot. This reproduces the structure that makes young-to-old
+    TIB writes the dominant write-barrier traffic in Jikes RVM
+    (paper S3.3.2). *)
+
+type t
+
+type id = int
+
+val create : Memory.t -> Boot_space.t -> t
+
+val register : t -> name:string -> id
+(** Register a type, creating its type object. Registering the same
+    name twice returns the existing id. *)
+
+val tib_value : t -> id -> Value.t
+(** The tagged reference to the type object, suitable for storing in an
+    object's [tib] slot. @raise Invalid_argument on unknown id. *)
+
+val name : t -> id -> string
+(** @raise Invalid_argument on unknown id. *)
+
+val id_of_tib : t -> Value.t -> id option
+(** Recover the type id from a tib reference (reads the type object's
+    first field). [None] if the value is not a type-object
+    reference. *)
+
+val count : t -> int

@@ -1,0 +1,25 @@
+type t = int
+
+let null = 0
+let of_int n = (n lsl 1) lor 1
+
+let to_int v =
+  if v land 1 = 0 then invalid_arg "Value.to_int: not an immediate";
+  v asr 1
+
+let of_addr a =
+  if a = Addr.null then invalid_arg "Value.of_addr: null address";
+  a lsl 1
+
+let to_addr v =
+  if v land 1 = 1 || v = 0 then invalid_arg "Value.to_addr: not a reference";
+  v lsr 1
+
+let is_null v = v = 0
+let is_int v = v land 1 = 1
+let is_ref v = v <> 0 && v land 1 = 0
+
+let pp fmt v =
+  if is_null v then Format.pp_print_string fmt "null"
+  else if is_int v then Format.fprintf fmt "%d" (to_int v)
+  else Format.fprintf fmt "ref%a" Addr.pp (to_addr v)

@@ -1,0 +1,34 @@
+(** Tagged slot values.
+
+    Every field of every heap object, every root slot and every
+    remembered value is one machine word with a one-bit tag, the
+    classic uniform representation:
+
+    - [0]                      : the null reference;
+    - odd ([n lsl 1 lor 1])    : an immediate (unboxed) integer;
+    - even, non-zero ([a lsl 1]) : a reference to address [a].
+
+    The collector scans slots without type information: a slot is
+    interesting iff {!is_ref}. *)
+
+type t = int
+
+val null : t
+val of_int : int -> t
+(** Immediate integer. The payload must fit in 62 bits. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument if the value is not an immediate. *)
+
+val of_addr : Addr.t -> t
+(** Reference to a (non-null) address.
+    @raise Invalid_argument on [Addr.null]. *)
+
+val to_addr : t -> Addr.t
+(** @raise Invalid_argument if the value is not a reference. *)
+
+val is_null : t -> bool
+val is_int : t -> bool
+val is_ref : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/figures.ml: Addr Beltlang Beltway Beltway_util Beltway_workload Config Cost_model Float Hashtbl List Mmu Option Printf Runner String

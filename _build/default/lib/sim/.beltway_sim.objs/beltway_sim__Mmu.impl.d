@@ -1,0 +1,1 @@
+lib/sim/mmu.ml: Array Beltway Beltway_util Cost_model Float List

@@ -1,0 +1,1 @@
+lib/sim/mmu.mli: Beltway Cost_model

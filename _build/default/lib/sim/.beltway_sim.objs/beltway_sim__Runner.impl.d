@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Addr Beltway Beltway_workload Config Cost_model Float Hashtbl List Logs Printf

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Beltway Beltway_workload Config Cost_model

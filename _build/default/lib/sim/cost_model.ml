@@ -1,0 +1,49 @@
+type t = {
+  alloc_word : float;
+  alloc_object : float;
+  barrier_filtered : float;
+  barrier_fast : float;
+  barrier_slow : float;
+  gc_setup : float;
+  gc_root : float;
+  gc_copy_word : float;
+  gc_scan_slot : float;
+  gc_remset_slot : float;
+  gc_free_frame : float;
+}
+
+let default =
+  {
+    alloc_word = 1.0;
+    alloc_object = 3.0;
+    barrier_filtered = 0.5;
+    barrier_fast = 2.0;
+    barrier_slow = 15.0;
+    gc_setup = 4_000.0;
+    gc_root = 2.0;
+    gc_copy_word = 4.0;
+    gc_scan_slot = 2.0;
+    gc_remset_slot = 5.0;
+    gc_free_frame = 30.0;
+  }
+
+let mutator_time t (s : Beltway.Gc_stats.t) =
+  (t.alloc_word *. float_of_int s.Beltway.Gc_stats.words_allocated)
+  +. (t.alloc_object *. float_of_int s.Beltway.Gc_stats.objects_allocated)
+  +. (t.barrier_filtered *. float_of_int s.Beltway.Gc_stats.barrier_filtered)
+  +. (t.barrier_fast *. float_of_int s.Beltway.Gc_stats.barrier_fast)
+  +. (t.barrier_slow *. float_of_int s.Beltway.Gc_stats.barrier_slow)
+
+let collection_time t (c : Beltway.Gc_stats.collection) =
+  t.gc_setup
+  +. (t.gc_root *. float_of_int c.Beltway.Gc_stats.roots_scanned)
+  +. (t.gc_copy_word *. float_of_int c.Beltway.Gc_stats.copied_words)
+  +. (t.gc_scan_slot *. float_of_int c.Beltway.Gc_stats.scanned_slots)
+  +. (t.gc_remset_slot *. float_of_int c.Beltway.Gc_stats.remset_slots)
+  +. (t.gc_free_frame *. float_of_int c.Beltway.Gc_stats.freed_frames)
+
+let gc_time t (s : Beltway.Gc_stats.t) =
+  Beltway_util.Vec.fold (fun acc c -> acc +. collection_time t c) 0.0
+    s.Beltway.Gc_stats.collections
+
+let total_time t s = mutator_time t s +. gc_time t s

@@ -1,0 +1,44 @@
+(** The deterministic cost model.
+
+    The paper measures wall-clock seconds on a 733 MHz PowerMac G4; we
+    measure *work*: every event the collector and mutator perform is
+    counted exactly (words allocated and copied, slots scanned,
+    barrier fast/slow paths, remembered slots processed, frames
+    freed), and this module maps counts to abstract time units. One
+    unit is loosely "one nanosecond-ish of 2002 hardware", but only
+    ratios matter: all figures are reported relative to the best
+    configuration, exactly as in the paper.
+
+    The default constants are calibrated so that, like Figure 1(a), a
+    generational collector on these workloads spends roughly 5-40%% of
+    total time in GC between 3x and 1x the minimum heap size. The
+    constants can be overridden to test the sensitivity of conclusions
+    to the model (see the ablation bench). *)
+
+type t = {
+  alloc_word : float; (** per word allocated (zeroing + bump share) *)
+  alloc_object : float; (** per-object overhead (header init, type) *)
+  barrier_filtered : float; (** nursery-filter fast exit *)
+  barrier_fast : float; (** full predicate, nothing remembered *)
+  barrier_slow : float; (** predicate + remset insert *)
+  gc_setup : float; (** per-collection fixed cost (stop, roots setup) *)
+  gc_root : float; (** per root slot *)
+  gc_copy_word : float; (** per word copied *)
+  gc_scan_slot : float; (** per slot scanned *)
+  gc_remset_slot : float; (** per remembered slot processed *)
+  gc_free_frame : float; (** per frame released *)
+}
+
+val default : t
+
+val mutator_time : t -> Beltway.Gc_stats.t -> float
+(** Total mutator work for a run (allocation + barriers). *)
+
+val collection_time : t -> Beltway.Gc_stats.collection -> float
+(** Work of one collection. *)
+
+val gc_time : t -> Beltway.Gc_stats.t -> float
+(** Sum over all collections. *)
+
+val total_time : t -> Beltway.Gc_stats.t -> float
+(** [mutator_time + gc_time]. *)

@@ -1,0 +1,563 @@
+module Spec = Beltway_workload.Spec
+module Table = Beltway_util.Table
+module SM = Beltway_util.Stats_math
+
+(* When enabled, every table is followed by its machine-readable CSV
+   form (see Table.to_csv) for post-processing/plotting. *)
+let csv_output = ref false
+
+let print_table t =
+  Table.print t;
+  if !csv_output then print_string (Table.to_csv t)
+
+let cfg s =
+  match Config.parse s with
+  | Ok c -> c
+  | Error e -> invalid_arg (Printf.sprintf "Figures: bad config %S: %s" s e)
+
+(* Run memo shared by all figures. *)
+let run_memo : (string * string * int, Runner.result) Hashtbl.t = Hashtbl.create 512
+
+let run_cached ~bench ~config ~heap_frames =
+  let key =
+    (bench.Spec.name, Config.to_string config, heap_frames)
+  in
+  match Hashtbl.find_opt run_memo key with
+  | Some r -> r
+  | None ->
+    let r = Runner.run_one ~bench ~config ~heap_frames () in
+    Hashtbl.replace run_memo key r;
+    r
+
+let cell ~bench ~config ~heap_frames =
+  let r = run_cached ~bench ~config ~heap_frames in
+  if r.Runner.completed then Some r else None
+
+let mult_label m = Printf.sprintf "%.2f" m
+let kb frames = frames * Runner.frame_bytes / 1024
+
+(* Geometric mean of [metric] across benches for one (config, mult);
+   None when any benchmark failed at that heap size. *)
+let geo_cell ~benches ~config ~mults_frames ~metric i =
+  let values =
+    List.map
+      (fun (bench, ladder) ->
+        match cell ~bench ~config ~heap_frames:(List.nth ladder i) with
+        | Some r -> Some (metric r)
+        | None -> None)
+      (List.combine benches mults_frames)
+  in
+  if List.exists Option.is_none values then None
+  else Some (SM.geomean (List.map Option.get values))
+
+(* A figure built from geometric means over the six benchmarks:
+   one table per metric, columns per config, rows per multiplier,
+   values relative to the figure's best. *)
+let geomean_figure ~title ~configs ~full ~metrics =
+  let mults = Runner.multipliers ~full in
+  let benches = Spec.all in
+  let ladders =
+    List.map
+      (fun b ->
+        let mh = Runner.min_heap_frames b in
+        Runner.heap_ladder ~min_frames:mh ~mults)
+      benches
+  in
+  List.iter
+    (fun (metric_name, metric) ->
+      (* Collect all defined geomeans to find the figure's best. *)
+      let grid =
+        List.map
+          (fun config ->
+            List.mapi
+              (fun i _ -> geo_cell ~benches ~config ~mults_frames:ladders ~metric i)
+              mults)
+          configs
+      in
+      let defined =
+        List.concat_map (List.filter_map (fun x -> x)) grid
+      in
+      let best = match defined with [] -> 1.0 | l -> SM.min_l l in
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "%s — %s (relative to best %.3e units)" title metric_name best)
+          ~columns:("heap/min" :: List.map Config.to_string configs)
+      in
+      List.iteri
+        (fun i m ->
+          let row =
+            mult_label m
+            :: List.map
+                 (fun col ->
+                   match List.nth col i with
+                   | Some v -> Printf.sprintf "%.3f" (v /. best)
+                   | None -> "-")
+                 grid
+          in
+          Table.add_row t row)
+        mults;
+      print_table t)
+    metrics
+
+let gc_time (r : Runner.result) = Float.max 1.0 r.Runner.gc_time
+let total_time (r : Runner.result) = r.Runner.total_time
+
+(* ------------------------------------------------------------------ *)
+
+let table1 ~full =
+  ignore full;
+  let t =
+    Table.create ~title:"Table 1: benchmark characteristics"
+      ~columns:
+        [ "benchmark"; "description"; "min heap"; "total alloc"; "GCs@3.0x"; "GCs@1.25x" ]
+  in
+  List.iter
+    (fun b ->
+      let mh = Runner.min_heap_frames b in
+      let gcs mult =
+        let heap_frames =
+          max 4 (int_of_float (Float.round (float_of_int mh *. mult)))
+        in
+        let r = run_cached ~bench:b ~config:Config.appel ~heap_frames in
+        if r.Runner.completed then
+          string_of_int (Beltway.Gc_stats.gcs r.Runner.stats)
+        else "-"
+      in
+      let r = run_cached ~bench:b ~config:Config.appel ~heap_frames:(mh * 3) in
+      Table.add_row t
+        [
+          b.Spec.name;
+          b.Spec.description;
+          Printf.sprintf "%dKB" (kb mh);
+          Printf.sprintf "%dKB"
+            (r.Runner.stats.Beltway.Gc_stats.words_allocated * Addr.bytes_per_word
+           / 1024);
+          gcs 3.0;
+          gcs 1.25;
+        ])
+    Spec.all;
+  print_table t
+
+let fig1 ~full =
+  let mults = Runner.multipliers ~full in
+  let pct =
+    Table.create ~title:"Figure 1(a): % of time spent in GC (Appel-style collector)"
+      ~columns:("heap/min" :: List.map (fun b -> b.Spec.name) Spec.all)
+  in
+  let rel =
+    Table.create
+      ~title:"Figure 1(b): total time relative to best heap size (Appel-style collector)"
+      ~columns:("heap/min" :: List.map (fun b -> b.Spec.name) Spec.all)
+  in
+  let per_bench =
+    List.map
+      (fun b ->
+        let mh = Runner.min_heap_frames b in
+        let ladder = Runner.heap_ladder ~min_frames:mh ~mults in
+        List.map (fun hf -> cell ~bench:b ~config:Config.appel ~heap_frames:hf) ladder)
+      Spec.all
+  in
+  let bests =
+    List.map
+      (fun col ->
+        match List.filter_map (Option.map total_time) col with
+        | [] -> 1.0
+        | l -> SM.min_l l)
+      per_bench
+  in
+  List.iteri
+    (fun i m ->
+      let pct_row =
+        mult_label m
+        :: List.map
+             (fun col ->
+               match List.nth col i with
+               | Some r ->
+                 Printf.sprintf "%.1f%%" (100.0 *. r.Runner.gc_time /. r.Runner.total_time)
+               | None -> "-")
+             per_bench
+      in
+      let rel_row =
+        mult_label m
+        :: List.map2
+             (fun col best ->
+               match List.nth col i with
+               | Some r -> Printf.sprintf "%.3f" (total_time r /. best)
+               | None -> "-")
+             per_bench bests
+      in
+      Table.add_row pct pct_row;
+      Table.add_row rel rel_row)
+    mults;
+  print_table pct;
+  print_table rel
+
+let fig5 ~full =
+  geomean_figure
+    ~title:"Figure 5: Appel vs Beltway 100.100 vs 100.100.100 (geomean, 6 benchmarks)"
+    ~configs:[ Config.appel; cfg "100.100"; cfg "100.100.100" ]
+    ~full
+    ~metrics:[ ("GC time", gc_time); ("total time", total_time) ]
+
+let fig6 ~full =
+  geomean_figure
+    ~title:"Figure 6: fixed-size nursery generational collectors vs Appel (geomean)"
+    ~configs:[ Config.appel; cfg "fixed:10"; cfg "fixed:25"; cfg "fixed:50"; cfg "fixed:75" ]
+    ~full
+    ~metrics:[ ("GC time", gc_time); ("total time", total_time) ]
+
+let fig7 ~full =
+  geomean_figure
+    ~title:"Figure 7: increment-size sensitivity of Beltway X.X.100 (geomean)"
+    ~configs:[ cfg "10.10.100"; cfg "25.25.100"; cfg "33.33.100"; cfg "50.50.100" ]
+    ~full
+    ~metrics:[ ("GC time", gc_time); ("total time", total_time) ]
+
+let fig8 ~full =
+  geomean_figure
+    ~title:"Figure 8: Beltway 25.25 vs 25.25.100 vs Appel (geomean)"
+    ~configs:[ cfg "25.25"; cfg "25.25.100"; Config.appel ]
+    ~full
+    ~metrics:[ ("GC time", gc_time); ("total time", total_time) ];
+  (* The javac detail: 25.25 never reclaims a large cyclic structure. *)
+  let mults = Runner.multipliers ~full in
+  let b = Spec.javac in
+  let mh = Runner.min_heap_frames b in
+  let ladder = Runner.heap_ladder ~min_frames:mh ~mults in
+  let t =
+    Table.create
+      ~title:
+        "Figure 8 detail: javac under Beltway 25.25 (incomplete) vs 25.25.100 — the \
+         cross-increment cycle pathology (S4.2.4)"
+      ~columns:[ "heap/min"; "25.25"; "25.25.100"; "appel" ]
+  in
+  let cols =
+    List.map
+      (fun c -> List.map (fun hf -> cell ~bench:b ~config:c ~heap_frames:hf) ladder)
+      [ cfg "25.25"; cfg "25.25.100"; Config.appel ]
+  in
+  let best =
+    match List.concat_map (List.filter_map (Option.map total_time)) cols with
+    | [] -> 1.0
+    | l -> SM.min_l l
+  in
+  List.iteri
+    (fun i m ->
+      Table.add_row t
+        (mult_label m
+        :: List.map
+             (fun col ->
+               match List.nth col i with
+               | Some r -> Printf.sprintf "%.3f" (total_time r /. best)
+               | None -> "-")
+             cols))
+    mults;
+  print_table t
+
+let fig9 ~full =
+  geomean_figure
+    ~title:"Figure 9: Beltway 25.25.100 vs Appel vs fixed-25% nursery (geomean)"
+    ~configs:[ cfg "25.25.100"; Config.appel; cfg "fixed:25" ]
+    ~full
+    ~metrics:[ ("GC time", gc_time); ("total time", total_time) ]
+
+let fig10 ~full =
+  let mults = Runner.multipliers ~full in
+  let configs = [ cfg "25.25.100"; Config.appel; cfg "fixed:25" ] in
+  List.iter
+    (fun b ->
+      let mh = Runner.min_heap_frames b in
+      let ladder = Runner.heap_ladder ~min_frames:mh ~mults in
+      let cols =
+        List.map
+          (fun c -> List.map (fun hf -> cell ~bench:b ~config:c ~heap_frames:hf) ladder)
+          configs
+      in
+      let best =
+        match List.concat_map (List.filter_map (Option.map total_time)) cols with
+        | [] -> 1.0
+        | l -> SM.min_l l
+      in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf "Figure 10 (%s): total time relative to best (min heap %dKB)"
+               b.Spec.name (kb mh))
+          ~columns:("heap/min" :: List.map Config.to_string configs)
+      in
+      List.iteri
+        (fun i m ->
+          Table.add_row t
+            (mult_label m
+            :: List.map
+                 (fun col ->
+                   match List.nth col i with
+                   | Some r -> Printf.sprintf "%.3f" (total_time r /. best)
+                   | None -> "-")
+                 cols))
+        mults;
+      print_table t)
+    Spec.all
+
+let fig11 ~full =
+  ignore full;
+  let b = Spec.javac in
+  let mh = Runner.min_heap_frames b in
+  let configs =
+    [ cfg "10.10"; cfg "10.10.100"; cfg "33.33"; cfg "33.33.100"; Config.appel ]
+  in
+  let model = Cost_model.default in
+  List.iter
+    (fun mult ->
+      let heap_frames = int_of_float (float_of_int mh *. mult) in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Figure 11: javac MMU at %.2fx min heap (%dKB); x-intercept = max pause"
+               mult (kb heap_frames))
+          ~columns:("window (units)" :: List.map Config.to_string configs)
+      in
+      let tls =
+        List.map
+          (fun c ->
+            match cell ~bench:b ~config:c ~heap_frames with
+            | Some r -> Some (Mmu.timeline model r.Runner.stats)
+            | None -> None)
+          configs
+      in
+      let windows =
+        [ 1e4; 3e4; 1e5; 3e5; 1e6; 3e6; 1e7; 3e7; 1e8 ]
+      in
+      List.iter
+        (fun w ->
+          Table.add_row t
+            (Printf.sprintf "%.0e" w
+            :: List.map
+                 (function
+                   | Some tl -> Printf.sprintf "%.3f" (Mmu.mmu tl ~window:w)
+                   | None -> "-")
+                 tls))
+        windows;
+      Table.add_row t
+        ("max pause"
+        :: List.map
+             (function
+               | Some tl -> Printf.sprintf "%.2e" (Mmu.max_pause tl)
+               | None -> "-")
+             tls);
+      Table.add_row t
+        ("utilization"
+        :: List.map
+             (function
+               | Some tl -> Printf.sprintf "%.3f" (Mmu.utilization tl)
+               | None -> "-")
+             tls);
+      print_table t)
+    [ 1.5; 3.0 ]
+
+let ablation ~full =
+  ignore full;
+  (* Each mechanism toggled against its baseline, at a moderately tight
+     heap (1.5x the per-benchmark minimum) where the mechanisms
+     matter. *)
+  let variants =
+    [
+      ("25.25.100", "baseline");
+      ("25.25.100+nofilter", "without the nursery-source barrier filter");
+      ("25.25.100+halfreserve", "fixed half-heap reserve instead of dynamic");
+      ("25.25.100+remtrig:20000", "with the remset trigger");
+      ("25.25.100+cards", "card-table barrier instead of remsets");
+      ("25.25.100+los:256", "with a 1KB-threshold large object space");
+      ("appel", "Appel baseline");
+      ("appel+ttd:8", "Appel with a time-to-die split nursery");
+    ]
+  in
+  let benches = [ Spec.jess; Spec.javac; Spec.pseudojbb ] in
+  let t =
+    Table.create
+      ~title:
+        "Ablation of S3.3 mechanisms at 1.5x min heap (total time relative to the \
+         25.25.100 baseline; barrier slow-path count in parentheses)"
+      ~columns:("variant" :: "description" :: List.map (fun b -> b.Spec.name) benches)
+  in
+  let baseline_times =
+    List.map
+      (fun b ->
+        let mh = Runner.min_heap_frames b in
+        match cell ~bench:b ~config:(cfg "25.25.100") ~heap_frames:(mh * 3 / 2) with
+        | Some r -> Some (total_time r)
+        | None -> None)
+      benches
+  in
+  List.iter
+    (fun (cs, desc) ->
+      let row =
+        List.map2
+          (fun b base ->
+            let mh = Runner.min_heap_frames b in
+            match (cell ~bench:b ~config:(cfg cs) ~heap_frames:(mh * 3 / 2), base) with
+            | Some r, Some base ->
+              Printf.sprintf "%.3f (%d)" (total_time r /. base)
+                r.Runner.stats.Beltway.Gc_stats.barrier_slow
+            | _ -> "-")
+          benches baseline_times
+      in
+      Table.add_row t (cs :: desc :: row))
+    variants;
+  print_table t
+
+let xy_explore ~full =
+  (* "Our framework and implementation also supports Beltway X.Y
+     collectors where X != Y, but we do not explore these
+     configurations here" (paper S3.2) — here we do: asymmetric
+     nursery/mature increment sizes against the symmetric baseline. *)
+  geomean_figure
+    ~title:"Beyond the paper: asymmetric Beltway X.Y (geomean, 6 benchmarks)"
+    ~configs:[ cfg "25.25"; cfg "10.40"; cfg "40.10"; cfg "50.20"; cfg "20.50" ]
+    ~full
+    ~metrics:[ ("GC time", gc_time); ("total time", total_time) ]
+
+let interp ~full =
+  ignore full;
+  (* The second mutator family: real interpreted programs (Beltlang)
+     whose heap the collectors manage — the "interpreter heap"
+     reproduction strategy, exercised end to end. Every collector must
+     produce identical program output (checked); the table compares
+     their costs. *)
+  let configs = [ "appel"; "25.25.100"; "10.10.100"; "25.25"; "ss"; "of:25" ] in
+  let model = Cost_model.default in
+  let heap_bytes = 768 * 1024 in
+  List.iter
+    (fun (p : Beltlang.Programs.t) ->
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf "Interpreted %s (%s) in a %dKB heap"
+               p.Beltlang.Programs.name p.Beltlang.Programs.description
+               (heap_bytes / 1024))
+          ~columns:[ "collector"; "GCs"; "copied KB"; "GC time"; "total time"; "output" ]
+      in
+      let reference = ref None in
+      List.iter
+        (fun cs ->
+          let config = cfg cs in
+          let gc = Beltway.Gc.create ~config ~heap_bytes () in
+          let it = Beltlang.Interp.create gc in
+          match Beltlang.Interp.run_string it p.Beltlang.Programs.source with
+          | () ->
+            let out = Beltlang.Interp.output it in
+            let ok =
+              match !reference with
+              | None ->
+                reference := Some out;
+                true
+              | Some r -> r = out
+            in
+            let stats = Beltway.Gc.stats gc in
+            Table.add_row t
+              [
+                cs;
+                string_of_int (Beltway.Gc_stats.gcs stats);
+                string_of_int (Beltway.Gc_stats.total_copied_words stats * 4 / 1024);
+                Printf.sprintf "%.2e" (Cost_model.gc_time model stats);
+                Printf.sprintf "%.2e" (Cost_model.total_time model stats);
+                (if ok then "identical" else "MISMATCH");
+              ]
+          | exception Beltway.Gc.Out_of_memory _ ->
+            Table.add_row t [ cs; "-"; "-"; "-"; "-"; "OOM" ])
+        configs;
+      print_table t)
+    Beltlang.Programs.all
+
+let sensitivity ~full =
+  ignore full;
+  (* Are the Figure 9 conclusions an artifact of the cost-model
+     constants? Re-evaluate the same runs (same event counts) under
+     perturbed models: each row scales one constant family by the given
+     factor and reports the 25.25.100 : appel total-time ratio (< 1
+     means Beltway wins) at a tight and a large heap. *)
+  let d = Cost_model.default in
+  let models =
+    [
+      ("default", d);
+      ( "barrier x4",
+        { d with
+          Cost_model.barrier_fast = d.Cost_model.barrier_fast *. 4.0;
+          barrier_slow = d.Cost_model.barrier_slow *. 4.0;
+          barrier_filtered = d.Cost_model.barrier_filtered *. 4.0
+        } );
+      ( "barrier /4",
+        { d with
+          Cost_model.barrier_fast = d.Cost_model.barrier_fast /. 4.0;
+          barrier_slow = d.Cost_model.barrier_slow /. 4.0;
+          barrier_filtered = d.Cost_model.barrier_filtered /. 4.0
+        } );
+      ("copy x4", { d with Cost_model.gc_copy_word = d.Cost_model.gc_copy_word *. 4.0 });
+      ("copy /4", { d with Cost_model.gc_copy_word = d.Cost_model.gc_copy_word /. 4.0 });
+      ( "scan x4",
+        { d with
+          Cost_model.gc_scan_slot = d.Cost_model.gc_scan_slot *. 4.0;
+          gc_remset_slot = d.Cost_model.gc_remset_slot *. 4.0
+        } );
+      ("setup x8", { d with Cost_model.gc_setup = d.Cost_model.gc_setup *. 8.0 });
+    ]
+  in
+  let benches = Spec.all in
+  let ratio model mult =
+    let per_bench config =
+      List.map
+        (fun b ->
+          let mh = Runner.min_heap_frames b in
+          let heap_frames = max 4 (int_of_float (Float.round (float_of_int mh *. mult))) in
+          match cell ~bench:b ~config ~heap_frames with
+          | Some r -> Some (Cost_model.total_time model r.Runner.stats)
+          | None -> None)
+        benches
+    in
+    let a = per_bench (cfg "25.25.100") and b = per_bench Config.appel in
+    if List.exists Option.is_none a || List.exists Option.is_none b then None
+    else
+      Some (SM.geomean (List.map Option.get a) /. SM.geomean (List.map Option.get b))
+  in
+  let t =
+    Table.create
+      ~title:
+        "Cost-model sensitivity: total-time ratio 25.25.100 : appel (geomean; < 1 = \
+         Beltway wins) under perturbed cost constants"
+      ~columns:[ "model"; "at 1.32x min heap"; "at 3.0x min heap" ]
+  in
+  List.iter
+    (fun (name, model) ->
+      let fmt = function Some r -> Printf.sprintf "%.3f" r | None -> "-" in
+      Table.add_row t [ name; fmt (ratio model 1.32); fmt (ratio model 3.0) ])
+    models;
+  print_table t
+
+let all_ids =
+  [
+    "table1"; "fig1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+    "ablate"; "xy"; "interp"; "sensitivity";
+  ]
+
+let run ~id ~full =
+  match id with
+  | "table1" -> table1 ~full
+  | "fig1" -> fig1 ~full
+  | "fig5" -> fig5 ~full
+  | "fig6" -> fig6 ~full
+  | "fig7" -> fig7 ~full
+  | "fig8" -> fig8 ~full
+  | "fig9" -> fig9 ~full
+  | "fig10" -> fig10 ~full
+  | "fig11" -> fig11 ~full
+  | "ablate" -> ablation ~full
+  | "xy" -> xy_explore ~full
+  | "interp" -> interp ~full
+  | "sensitivity" -> sensitivity ~full
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Figures.run: unknown id %S (expected one of: %s)" id
+         (String.concat ", " all_ids))
+
+let run_all ~full = List.iter (fun id -> run ~id ~full) all_ids

@@ -1,0 +1,82 @@
+(** Reproduction of every table and figure in the paper's evaluation.
+
+    Each [figN] function re-runs the corresponding experiment and
+    prints the result as an aligned text table (the paper's plots,
+    tabulated): y-values are reported exactly as in the paper —
+    relative to the best result in the figure, lower is better — and
+    the x-axis is heap size relative to the per-benchmark minimum heap
+    (measured for the Appel-style collector, Table 1's protocol).
+    Missing cells ([-]) are heap sizes at which that configuration ran
+    out of memory, reproducing the truncated curves of Figures 6, 8
+    and 10.
+
+    Runs are memoised per (benchmark, configuration, heap size) so the
+    full suite re-uses shared points. [full] selects the paper's
+    33-point heap ladder instead of the default 9. *)
+
+val csv_output : bool ref
+(** When set, every table is followed by its CSV rendering
+    ([Table.to_csv]) for post-processing/plotting; off by default. *)
+
+val table1 : full:bool -> unit
+(** Benchmark characteristics: minimum heap, total allocation, GCs at
+    large and small heaps. *)
+
+val fig1 : full:bool -> unit
+(** Time spent in GC and total-time sensitivity vs heap size for the
+    Appel-style collector, per benchmark. *)
+
+val fig5 : full:bool -> unit
+(** Appel vs Beltway 100.100 vs 100.100.100 (geometric means). *)
+
+val fig6 : full:bool -> unit
+(** Fixed-size-nursery collectors vs Appel. *)
+
+val fig7 : full:bool -> unit
+(** Increment-size sensitivity of Beltway X.X.100. *)
+
+val fig8 : full:bool -> unit
+(** Beltway 25.25 vs 25.25.100 vs Appel (completeness trade-off),
+    including the per-benchmark javac detail. *)
+
+val fig9 : full:bool -> unit
+(** Beltway 25.25.100 vs Appel vs fixed-25%% nursery (geometric
+    means). *)
+
+val fig10 : full:bool -> unit
+(** Per-benchmark total execution times for the Figure 9
+    collectors. *)
+
+val fig11 : full:bool -> unit
+(** MMU curves for javac at two heap sizes across
+    {10.10, 10.10.100, 33.33, 33.33.100, appel}. *)
+
+val ablation : full:bool -> unit
+(** Not in the paper's figures, but in its design narrative (S3.3):
+    ablations of the mechanisms DESIGN.md calls out — the
+    nursery-source barrier filter, the dynamic copy reserve, the
+    remset trigger and the time-to-die trigger — each toggled on the
+    Beltway 25.25.100 / Appel baselines. *)
+
+val xy_explore : full:bool -> unit
+(** Beyond the paper: the asymmetric Beltway X.Y configurations S3.2
+    mentions but does not evaluate. *)
+
+val interp : full:bool -> unit
+(** The interpreter-substrate experiment: every bundled Beltlang
+    program under six collector families, checking byte-identical
+    output and comparing cost. *)
+
+val sensitivity : full:bool -> unit
+(** Cost-model sensitivity: re-evaluate the Figure 9 comparison under
+    perturbed cost constants (same runs, same event counts) to check
+    the conclusions are not an artifact of the default model. *)
+
+val all_ids : string list
+(** In paper order: table1, fig1, fig5..fig11, plus [ablate], [xy],
+    [interp] and [sensitivity]. *)
+
+val run : id:string -> full:bool -> unit
+(** Dispatch by id. @raise Invalid_argument on an unknown id. *)
+
+val run_all : full:bool -> unit

@@ -1,0 +1,73 @@
+type timeline = {
+  starts : float array; (* pause start times, ascending *)
+  durs : float array;
+  prefix : float array; (* prefix.(i) = total pause time before pause i *)
+  total : float;
+  total_pause : float;
+}
+
+let timeline model (stats : Beltway.Gc_stats.t) =
+  let mut_total = Cost_model.mutator_time model stats in
+  let words = max 1 stats.Beltway.Gc_stats.words_allocated in
+  let rate = mut_total /. float_of_int words in
+  let n = Beltway_util.Vec.length stats.Beltway.Gc_stats.collections in
+  let starts = Array.make n 0.0 in
+  let durs = Array.make n 0.0 in
+  let prefix = Array.make (n + 1) 0.0 in
+  let acc_pause = ref 0.0 in
+  for i = 0 to n - 1 do
+    let c = Beltway_util.Vec.get stats.Beltway.Gc_stats.collections i in
+    let mut_progress = rate *. float_of_int c.Beltway.Gc_stats.clock_words in
+    starts.(i) <- mut_progress +. !acc_pause;
+    durs.(i) <- Cost_model.collection_time model c;
+    prefix.(i) <- !acc_pause;
+    acc_pause := !acc_pause +. durs.(i)
+  done;
+  prefix.(n) <- !acc_pause;
+  { starts; durs; prefix; total = mut_total +. !acc_pause; total_pause = !acc_pause }
+
+let total_time t = t.total
+let pause_count t = Array.length t.starts
+let max_pause t = Array.fold_left Float.max 0.0 t.durs
+
+let utilization t =
+  if t.total <= 0.0 then 1.0 else (t.total -. t.total_pause) /. t.total
+
+(* Pause time overlapping [a, b). *)
+let pause_in t a b =
+  let n = Array.length t.starts in
+  if n = 0 || b <= a then 0.0
+  else begin
+    (* First pause ending after a. *)
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let s = t.starts.(i) and d = t.durs.(i) in
+      let e = s +. d in
+      if e > a && s < b then acc := !acc +. (Float.min e b -. Float.max s a)
+    done;
+    !acc
+  end
+
+let mmu t ~window =
+  if window <= 0.0 then invalid_arg "Mmu.mmu: non-positive window";
+  if window >= t.total then utilization t
+  else begin
+    (* The minimum is attained with a window starting at a pause start
+       or ending at a pause end; also test the run's edges. *)
+    let candidates = ref [ 0.0; t.total -. window ] in
+    Array.iteri
+      (fun i s ->
+        candidates := s :: (s +. t.durs.(i) -. window) :: !candidates)
+      t.starts;
+    let best = ref 1.0 in
+    List.iter
+      (fun a ->
+        let a = Float.max 0.0 (Float.min a (t.total -. window)) in
+        let p = pause_in t a (a +. window) in
+        let u = (window -. p) /. window in
+        if u < !best then best := u)
+      !candidates;
+    Float.max 0.0 !best
+  end
+
+let curve t ~windows = List.map (fun w -> (w, mmu t ~window:w)) windows

@@ -1,0 +1,31 @@
+(** Minimum mutator utilization (paper S4.3, Figure 11).
+
+    Following Cheng & Blelloch, mutator utilization over an interval
+    [\[t, t+w)] is the fraction of that interval in which the mutator
+    (not the collector) runs; MMU(w) is the minimum over all placements
+    of a window of length [w] inside the run. MMU curves are
+    monotonically increasing in [w]; the x-intercept is the maximum
+    pause and the asymptote is overall throughput.
+
+    The timeline is reconstructed from the collection log: mutator
+    progress is interpolated on the allocation clock at the run's mean
+    mutator rate, and each collection contributes a pause of its
+    cost-model duration. *)
+
+type timeline
+
+val timeline : Cost_model.t -> Beltway.Gc_stats.t -> timeline
+
+val total_time : timeline -> float
+val max_pause : timeline -> float
+val utilization : timeline -> float
+(** Overall mutator fraction (the curve's asymptote). *)
+
+val mmu : timeline -> window:float -> float
+(** MMU for one window length, in [\[0,1\]]. Windows longer than the
+    run return {!utilization}. *)
+
+val curve : timeline -> windows:float list -> (float * float) list
+(** [(w, mmu w)] pairs. *)
+
+val pause_count : timeline -> int

@@ -1,0 +1,92 @@
+let log_src = Logs.Src.create "beltway.runner" ~doc:"Beltway experiment runner"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  bench : string;
+  config : string;
+  heap_frames : int;
+  heap_bytes : int;
+  completed : bool;
+  oom_reason : string option;
+  stats : Beltway.Gc_stats.t;
+  gc_time : float;
+  mutator_time : float;
+  total_time : float;
+}
+
+let frame_log_words = 10
+let frame_bytes = (1 lsl frame_log_words) * Addr.bytes_per_word
+
+let run_one ?(model = Cost_model.default) ~bench ~config ~heap_frames () =
+  let gc =
+    Beltway.Gc.create ~frame_log_words ~config
+      ~heap_bytes:(heap_frames * frame_bytes) ()
+  in
+  let completed, oom_reason =
+    try
+      bench.Beltway_workload.Spec.run gc;
+      (true, None)
+    with Beltway.Gc.Out_of_memory m -> (false, Some m)
+  in
+  let stats = Beltway.Gc.stats gc in
+  {
+    bench = bench.Beltway_workload.Spec.name;
+    config = Config.to_string config;
+    heap_frames;
+    heap_bytes = heap_frames * frame_bytes;
+    completed;
+    oom_reason;
+    stats;
+    gc_time = Cost_model.gc_time model stats;
+    mutator_time = Cost_model.mutator_time model stats;
+    total_time = Cost_model.total_time model stats;
+  }
+
+let memo : (string * string, int) Hashtbl.t = Hashtbl.create 16
+
+let min_heap_frames ?(config = Config.appel) bench =
+  let key = (bench.Beltway_workload.Spec.name, Config.to_string config) in
+  match Hashtbl.find_opt memo key with
+  | Some v -> v
+  | None ->
+    let completes frames =
+      (run_one ~bench ~config ~heap_frames:frames ()).completed
+    in
+    (* Grow an upper bound from the hint, then binary search. *)
+    let hi = ref (max 8 bench.Beltway_workload.Spec.min_heap_hint_frames) in
+    while not (completes !hi) do
+      hi := !hi * 2;
+      if !hi > 1 lsl 22 then
+        failwith
+          (Printf.sprintf "min_heap_frames: %s/%s does not complete even at %d frames"
+             bench.Beltway_workload.Spec.name (Config.to_string config) !hi)
+    done;
+    let lo = ref (max 4 (!hi / 16)) in
+    (* Ensure lo fails (or accept lo). *)
+    if completes !lo then hi := !lo
+    else begin
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if completes mid then hi := mid else lo := mid
+      done
+    end;
+    Log.info (fun m ->
+        m "min heap for %s under %s: %d frames (%d KB)"
+          bench.Beltway_workload.Spec.name (Config.to_string config) !hi
+          (!hi * frame_bytes / 1024));
+    Hashtbl.replace memo key !hi;
+    !hi
+
+let multipliers ~full =
+  let n = if full then 33 else 9 in
+  let ratio = 3.0 in
+  List.init n (fun i ->
+      let f = float_of_int i /. float_of_int (n - 1) in
+      Float.pow ratio f)
+
+let heap_ladder ~min_frames ~mults =
+  List.map (fun m -> max 4 (int_of_float (Float.round (float_of_int min_frames *. m)))) mults
+
+let sweep ?model ~bench ~config ~heaps () =
+  List.map (fun heap_frames -> run_one ?model ~bench ~config ~heap_frames ()) heaps

@@ -1,0 +1,58 @@
+(** Experiment execution: single runs, minimum-heap search, and
+    heap-size sweeps.
+
+    The paper's protocol: for each benchmark, find the minimum heap
+    size in which the Appel-style collector completes (Table 1), then
+    run every collector at a ladder of heap sizes from 1x to 3x that
+    minimum (they use 33 sizes; [multipliers] defaults to 9 and the
+    harness's [--full] flag restores 33). A configuration failing at a
+    heap size ([completed = false]) appears as a missing point,
+    exactly like the truncated curves in Figures 6 and 10. *)
+
+type result = {
+  bench : string;
+  config : string;
+  heap_frames : int;
+  heap_bytes : int;
+  completed : bool;
+  oom_reason : string option;
+  stats : Beltway.Gc_stats.t;
+  gc_time : float;
+  mutator_time : float;
+  total_time : float;
+}
+
+val frame_log_words : int
+(** Frame granularity used throughout the harness (10: 4 KiB
+    frames). *)
+
+val frame_bytes : int
+(** Bytes per frame at that granularity. *)
+
+val run_one :
+  ?model:Cost_model.t ->
+  bench:Beltway_workload.Spec.t ->
+  config:Config.t ->
+  heap_frames:int ->
+  unit ->
+  result
+
+val min_heap_frames :
+  ?config:Config.t -> Beltway_workload.Spec.t -> int
+(** Smallest frame count at which the benchmark completes (binary
+    search; [config] defaults to the Appel comparator, as in
+    Table 1). Results are memoised per (benchmark, config label). *)
+
+val multipliers : full:bool -> float list
+(** The heap-size ladder: 9 points (or 33 with [full]) from 1.0 to
+    3.0, geometrically spaced. *)
+
+val heap_ladder : min_frames:int -> mults:float list -> int list
+
+val sweep :
+  ?model:Cost_model.t ->
+  bench:Beltway_workload.Spec.t ->
+  config:Config.t ->
+  heaps:int list ->
+  unit ->
+  result list

@@ -1,0 +1,28 @@
+type t = {
+  bucket_width : float;
+  counts : (int, int) Hashtbl.t;
+  mutable n : int;
+  mutable sum : float;
+  mutable max_v : float;
+}
+
+let create ~bucket_width () =
+  if bucket_width <= 0.0 then invalid_arg "Histogram.create: width must be positive";
+  { bucket_width; counts = Hashtbl.create 64; n = 0; sum = 0.0; max_v = 0.0 }
+
+let add t v =
+  let v = Float.max 0.0 v in
+  let b = int_of_float (v /. t.bucket_width) in
+  Hashtbl.replace t.counts b (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts b));
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.n
+let max_value t = t.max_v
+
+let buckets t =
+  Hashtbl.fold (fun b c acc -> (float_of_int b *. t.bucket_width, c) :: acc) t.counts []
+  |> List.sort compare
+
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n

@@ -1,0 +1,22 @@
+(** Fixed-bucket histograms for pause-time distributions. *)
+
+type t
+
+val create : bucket_width:float -> unit -> t
+(** Buckets are [\[k*w, (k+1)*w)]. @raise Invalid_argument if
+    [bucket_width <= 0]. *)
+
+val add : t -> float -> unit
+(** Record one observation; negative observations are clamped to 0. *)
+
+val count : t -> int
+(** Total observations. *)
+
+val max_value : t -> float
+(** Largest observation recorded (0 when empty). *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as (lower bound, count), ascending. *)
+
+val mean : t -> float
+(** Mean of raw observations (exact, not bucketised). *)

@@ -1,0 +1,63 @@
+type 'a t = { prios : int Vec.t; vals : 'a Vec.t }
+
+let create ~dummy () =
+  { prios = Vec.create ~dummy:0 (); vals = Vec.create ~dummy () }
+
+let length t = Vec.length t.prios
+let is_empty t = Vec.is_empty t.prios
+
+let swap t i j =
+  let pi = Vec.get t.prios i and pj = Vec.get t.prios j in
+  Vec.set t.prios i pj;
+  Vec.set t.prios j pi;
+  let vi = Vec.get t.vals i and vj = Vec.get t.vals j in
+  Vec.set t.vals i vj;
+  Vec.set t.vals j vi
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if Vec.get t.prios i < Vec.get t.prios parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = length t in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && Vec.get t.prios l < Vec.get t.prios !smallest then smallest := l;
+  if r < n && Vec.get t.prios r < Vec.get t.prios !smallest then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~prio v =
+  Vec.push t.prios prio;
+  Vec.push t.vals v;
+  sift_up t (length t - 1)
+
+let min_prio t = if is_empty t then None else Some (Vec.get t.prios 0)
+
+let pop_min t =
+  if is_empty t then None
+  else begin
+    let prio = Vec.get t.prios 0 and v = Vec.get t.vals 0 in
+    let last = length t - 1 in
+    swap t 0 last;
+    ignore (Vec.pop t.prios);
+    ignore (Vec.pop t.vals);
+    if last > 0 then sift_down t 0;
+    Some (prio, v)
+  end
+
+let pop_le t bound =
+  match min_prio t with
+  | Some p when p <= bound -> pop_min t
+  | _ -> None
+
+let clear t =
+  Vec.clear t.prios;
+  Vec.clear t.vals

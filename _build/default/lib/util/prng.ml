@@ -1,0 +1,63 @@
+type t = { mutable state : int }
+
+(* SplitMix64 constants truncated to OCaml's 63-bit int range; the
+   generator is a 63-bit SplitMix variant, which is more than adequate
+   for workload simulation. *)
+let golden_gamma = 0x1E3779B97F4A7C15
+
+let create ~seed = { state = seed }
+let copy t = { state = t.state }
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x2F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+let next t =
+  t.state <- t.state + golden_gamma;
+  mix t.state land max_int
+
+let split t =
+  let s = next t in
+  { state = mix s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free modulo is fine for simulation purposes; bounds are
+     tiny compared to 2^62 so bias is negligible. *)
+  next t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Float.of_int (next t) /. Float.of_int max_int *. bound
+
+let bool t = next t land 1 = 1
+
+let chance t p = if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let exponential t ~mean =
+  let u = Float.max 1e-12 (float t 1.0) in
+  -.mean *. Float.log u
+
+let pareto t ~shape ~scale =
+  let u = Float.max 1e-12 (float t 1.0) in
+  scale /. Float.pow u (1.0 /. shape)
+
+let geometric t ~p =
+  let p = Float.max 1e-9 p in
+  let u = Float.max 1e-12 (float t 1.0) in
+  int_of_float (Float.log u /. Float.log (1.0 -. p))
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the reproduction (workload generators,
+    property tests that need their own stream) flows through this
+    SplitMix64 implementation so that every experiment is exactly
+    reproducible from a seed, independent of the OCaml stdlib [Random]
+    state. SplitMix64 is the standard seeding generator from Steele,
+    Lea & Flood, "Fast Splittable Pseudorandom Number Generators"
+    (OOPSLA 2014). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val next : t -> int
+(** [next t] is the next raw 63-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto(shape, scale) sample; heavy-tailed, used for object-lifetime
+    mixtures. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p])
+    trial; [p] is clamped away from 0. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on
+    empty input. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

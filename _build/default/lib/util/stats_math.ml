@@ -1,0 +1,47 @@
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> 0.0
+  | l ->
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats_math.geomean: non-positive value"
+          else acc +. Float.log x)
+        0.0 l
+    in
+    Float.exp (sum_logs /. float_of_int (List.length l))
+
+let min_l = function
+  | [] -> invalid_arg "Stats_math.min_l: empty"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let max_l = function
+  | [] -> invalid_arg "Stats_math.max_l: empty"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let normalize_to_best l =
+  let best = min_l l in
+  if best <= 0.0 then invalid_arg "Stats_math.normalize_to_best: non-positive best";
+  List.map (fun x -> x /. best) l
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats_math.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats_math.percentile: p out of range";
+  let a = Array.copy a in
+  Array.sort compare a;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then a.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
+
+let round_to digits x =
+  let m = Float.pow 10.0 (float_of_int digits) in
+  Float.round (x *. m) /. m

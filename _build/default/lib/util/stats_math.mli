@@ -1,0 +1,28 @@
+(** Small numeric helpers used by the experiment harness: the paper
+    reports geometric means across benchmarks and normalises each curve
+    to the best point in the figure. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on empty input. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on empty input.
+    @raise Invalid_argument if any value is [<= 0]. *)
+
+val min_l : float list -> float
+(** Minimum; @raise Invalid_argument on empty input. *)
+
+val max_l : float list -> float
+(** Maximum; @raise Invalid_argument on empty input. *)
+
+val normalize_to_best : float list -> float list
+(** Divide every value by the list minimum (the paper's
+    "relative to best result, lower is better" y-axes). Values [<= 0]
+    or an empty list are rejected. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]]; sorts a copy; linear
+    interpolation between ranks. @raise Invalid_argument on empty. *)
+
+val round_to : int -> float -> float
+(** [round_to digits x] rounds to [digits] decimal places. *)

@@ -1,0 +1,67 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d"
+         (List.length t.columns) (List.length row));
+  t.rows <- t.rows @ [ row ]
+
+let add_rowf t row = add_row t (List.map (Printf.sprintf "%.3f") row)
+
+let widths t =
+  let ncols = List.length t.columns in
+  let w = Array.make ncols 0 in
+  let feed row = List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row in
+  feed t.columns;
+  List.iter feed t.rows;
+  w
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    let n = w.(i) - String.length cell in
+    cell ^ String.make (max 0 n) ' '
+  in
+  let render_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun wi ->
+        Buffer.add_string buf (String.make (wi + 2) '-');
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  render_row t.columns;
+  rule ();
+  List.iter render_row t.rows;
+  rule ();
+  Buffer.contents buf
+
+let escape cell = String.map (fun c -> if c = ',' then ';' else c) cell
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row_to_csv row = String.concat "," (List.map escape row) in
+  Buffer.add_string buf ("#csv " ^ escape t.title ^ "\n");
+  Buffer.add_string buf (row_to_csv t.columns ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (row_to_csv r ^ "\n")) t.rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Every figure and table the benchmark binary reproduces is printed
+    as an aligned text table so the output can be compared to the paper
+    and post-processed (each data row is also emitted in a stable
+    machine-readable "#csv" form by {!to_csv}). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from [columns]. *)
+
+val add_rowf : t -> float list -> unit
+(** Convenience: format each float with 3 decimal places, prefixing the
+    row with nothing. *)
+
+val render : t -> string
+(** Aligned, boxed text rendering including the title. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header + rows), values escaped
+    minimally (commas replaced by [;]). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)

@@ -1,0 +1,1 @@
+lib/workload/lifetime.ml: Beltway_util List

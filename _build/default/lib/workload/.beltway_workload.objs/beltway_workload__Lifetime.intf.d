@@ -1,0 +1,1 @@
+lib/workload/lifetime.mli: Beltway_util

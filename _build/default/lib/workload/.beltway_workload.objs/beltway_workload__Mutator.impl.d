@@ -1,0 +1,1 @@
+lib/workload/mutator.ml: Beltway Beltway_util Roots Value

@@ -1,0 +1,1 @@
+lib/workload/mutator.mli: Addr Beltway Beltway_util Type_registry Value

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Array Beltway Beltway_util Lifetime List Mutator Queue

@@ -1,0 +1,1 @@
+lib/workload/torture.ml: Array Beltway Beltway_util List Roots Value

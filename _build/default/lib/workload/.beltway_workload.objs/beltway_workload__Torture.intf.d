@@ -1,0 +1,1 @@
+lib/workload/torture.mli: Beltway

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Addr Array Beltway Beltway_util Format Hashtbl List Printf Roots Value

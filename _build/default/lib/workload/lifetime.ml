@@ -1,0 +1,30 @@
+module Prng = Beltway_util.Prng
+
+type sampler = Prng.t -> int
+
+let exponential ~mean rng = max 1 (int_of_float (Prng.exponential rng ~mean:(float_of_int mean)))
+let uniform ~lo ~hi rng = Prng.int_in rng lo hi
+
+let pareto ~shape ~scale ~cap rng =
+  min cap (max 1 (int_of_float (Prng.pareto rng ~shape ~scale:(float_of_int scale))))
+
+let constant n _rng = n
+
+let mixture parts =
+  if parts = [] then invalid_arg "Lifetime.mixture: empty";
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 parts in
+  if total <= 0.0 then invalid_arg "Lifetime.mixture: non-positive total weight";
+  fun rng ->
+    let x = Prng.float rng total in
+    let rec pick acc = function
+      | [] -> (snd (List.hd parts)) rng
+      | (w, s) :: rest -> if x < acc +. w then s rng else pick (acc +. w) rest
+    in
+    pick 0.0 parts
+
+let generational ~young_mean ~old_mean ~survivor_fraction =
+  mixture
+    [
+      (1.0 -. survivor_fraction, exponential ~mean:young_mean);
+      (survivor_fraction, exponential ~mean:old_mean);
+    ]

@@ -1,0 +1,31 @@
+(** Object-lifetime models.
+
+    Lifetimes are measured in words of allocation (the allocation
+    clock). The empirical shape driving generational collection — the
+    weak generational hypothesis — is a heavy-skewed mixture: most
+    objects die within a small multiple of their own size, a minority
+    live orders of magnitude longer, and a sliver is effectively
+    immortal. Each benchmark composes these samplers with its own
+    mixture weights. *)
+
+type sampler = Beltway_util.Prng.t -> int
+(** Draws a lifetime in words. *)
+
+val exponential : mean:int -> sampler
+(** Classic radioactive-decay lifetimes. *)
+
+val uniform : lo:int -> hi:int -> sampler
+
+val pareto : shape:float -> scale:int -> cap:int -> sampler
+(** Heavy-tailed lifetimes, capped. *)
+
+val constant : int -> sampler
+
+val mixture : (float * sampler) list -> sampler
+(** Weighted mixture; weights need not sum to 1 (normalised).
+    @raise Invalid_argument on an empty or non-positive-weight list. *)
+
+val generational : young_mean:int -> old_mean:int -> survivor_fraction:float -> sampler
+(** The standard two-phase model: with probability
+    [1 - survivor_fraction] an exponential death at [young_mean],
+    otherwise at [old_mean]. *)

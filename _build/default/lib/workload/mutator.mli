@@ -1,0 +1,89 @@
+(** The mutation engine shared by the synthetic benchmarks.
+
+    A mutator drives a [Beltway.Gc] heap the way a program would:
+    it allocates objects, links them into structures through the write
+    barrier, holds some via {e handles} (GC-safe global root slots) and
+    drops them on a {e death schedule} measured on the allocation clock
+    (bytes allocated — the standard GC-literature notion of time).
+
+    Address discipline: raw addresses are never held across an
+    allocation; everything flows through handles or the shadow stack,
+    so the engine is safe under any collector configuration. *)
+
+type t
+
+type handle
+(** A GC-safe reference to a live object (backed by a global root
+    slot). Handles are recycled after {!drop}. *)
+
+val create : ?seed:int -> Beltway.Gc.t -> t
+val gc : t -> Beltway.Gc.t
+val rng : t -> Beltway_util.Prng.t
+
+val now : t -> int
+(** Allocation clock in words. *)
+
+(** {2 Handles} *)
+
+val retain : t -> Addr.t -> handle
+(** Root the object at [addr] (valid now) in a fresh handle. *)
+
+val get : t -> handle -> Addr.t
+(** Current address of the handle's object.
+    @raise Invalid_argument if the handle was dropped. *)
+
+val is_live : t -> handle -> bool
+
+val drop : t -> handle -> unit
+(** Unroot; the object becomes garbage unless referenced elsewhere. *)
+
+val live_handles : t -> int
+
+(** {2 Allocation} *)
+
+val alloc : t -> ty:Type_registry.id -> nfields:int -> handle
+(** Allocate and immediately root. *)
+
+val alloc_dying : t -> ty:Type_registry.id -> nfields:int -> dies_in:int -> handle
+(** Allocate, root, and schedule {!drop} after [dies_in] more words of
+    allocation (serviced by {!tick}). *)
+
+val alloc_temp : t -> ty:Type_registry.id -> nfields:int -> unit
+(** Allocate an object and leave it unrooted — instant garbage (pure
+    allocation-rate pressure). *)
+
+(** {2 Structure building} *)
+
+val link : t -> from:handle -> field:int -> to_:handle -> unit
+(** [from.field <- to_] through the write barrier. *)
+
+val unlink : t -> from:handle -> field:int -> unit
+(** [from.field <- null]. *)
+
+val link_value : t -> from:handle -> field:int -> Value.t -> unit
+
+val read_field : t -> handle -> int -> Value.t
+
+val set_int : t -> handle -> int -> int -> unit
+(** Store an immediate integer field. *)
+
+val alloc_into : t -> parent:handle -> field:int -> ty:Type_registry.id -> nfields:int -> unit
+(** Allocate an object and store it directly into [parent.field]
+    without rooting it separately — the child's liveness rides on the
+    parent (interior nodes of trees/lists). *)
+
+val child : t -> handle -> int -> handle option
+(** Root the object currently referenced by [handle.field], if any. *)
+
+(** {2 The death schedule} *)
+
+val schedule_drop : t -> handle -> dies_in:int -> unit
+(** Drop the handle once the allocation clock advances [dies_in]
+    words. *)
+
+val tick : t -> unit
+(** Process all deaths due at the current clock. Call between
+    allocation bursts. *)
+
+val drain : t -> unit
+(** Drop every scheduled handle immediately (end of benchmark). *)

@@ -1,0 +1,431 @@
+module Prng = Beltway_util.Prng
+module Vec = Beltway_util.Vec
+
+type t = {
+  name : string;
+  description : string;
+  total_alloc_words : int;
+  live_hint_words : int;
+  min_heap_hint_frames : int;
+  run : Beltway.Gc.t -> unit;
+}
+
+(* A bounded pool of handles with random replacement: the standard
+   shape for "working memory" / "recently touched objects". *)
+module Pool = struct
+  type p = { slots : Mutator.handle option Vec.t; cap : int }
+
+  let create ~cap = { slots = Vec.create ~dummy:None (); cap }
+
+  let add m p h =
+    if Vec.length p.slots < p.cap then Vec.push p.slots (Some h)
+    else begin
+      let i = Prng.int (Mutator.rng m) p.cap in
+      (match Vec.get p.slots i with Some old -> Mutator.drop m old | None -> ());
+      Vec.set p.slots i (Some h)
+    end
+
+  let random m p =
+    if Vec.is_empty p.slots then None
+    else Vec.get p.slots (Prng.int (Mutator.rng m) (Vec.length p.slots))
+
+  let drop_all m p =
+    Vec.iter (function Some h -> Mutator.drop m h | None -> ()) p.slots;
+    Vec.clear p.slots
+end
+
+(* ---------------------------------------------------------------- *)
+
+let jess_run gc =
+  let m = Mutator.create ~seed:0xA55E5 gc in
+  let fact = Beltway.Gc.register_type gc ~name:"jess.fact" in
+  let token = Beltway.Gc.register_type gc ~name:"jess.token" in
+  let rng = Mutator.rng m in
+  let lifetime =
+    Lifetime.generational ~young_mean:3_000 ~old_mean:150_000 ~survivor_fraction:0.055
+  in
+  let facts = Pool.create ~cap:1500 in
+  let budget = 3_700_000 in
+  while Mutator.now m < budget do
+    (* An activation: a burst of pattern-matching temporaries... *)
+    let burst = Prng.int_in rng 4 24 in
+    for _ = 1 to burst do
+      Mutator.alloc_temp m ~ty:token ~nfields:(Prng.int_in rng 2 8)
+    done;
+    (* ...then assertion of a fact with a generational lifetime. *)
+    let h = Mutator.alloc_dying m ~ty:fact ~nfields:6 ~dies_in:(lifetime rng) in
+    Mutator.set_int m h 0 (Mutator.now m);
+    (* Facts reference other working-memory facts. *)
+    (match Pool.random m facts with
+    | Some peer when Mutator.is_live m peer -> Mutator.link m ~from:h ~field:1 ~to_:peer
+    | _ -> ());
+    (* Occasionally an old fact is rewritten to point at the new one:
+       old-to-young stores that exercise the barrier slow path. *)
+    if Prng.chance rng 0.02 then begin
+      match Pool.random m facts with
+      | Some old when Mutator.is_live m old -> Mutator.link m ~from:old ~field:2 ~to_:h
+      | _ -> ()
+    end;
+    Pool.add m facts (Mutator.retain m (Mutator.get m h));
+    Mutator.tick m
+  done;
+  Pool.drop_all m facts;
+  Mutator.drain m
+
+(* ---------------------------------------------------------------- *)
+
+let raytrace_run gc =
+  let m = Mutator.create ~seed:0x7AC3 gc in
+  let node = Beltway.Gc.register_type gc ~name:"rt.node" in
+  let prim = Beltway.Gc.register_type gc ~name:"rt.prim" in
+  let ray = Beltway.Gc.register_type gc ~name:"rt.ray" in
+  let hit = Beltway.Gc.register_type gc ~name:"rt.hit" in
+  let rng = Mutator.rng m in
+  (* Phase 1: the scene — a balanced BVH-like tree, live for the whole
+     run. Interior liveness rides on the root handle. *)
+  let rec build depth parent field =
+    if depth = 0 then
+      Mutator.alloc_into m ~parent ~field ~ty:prim ~nfields:(Prng.int_in rng 8 14)
+    else begin
+      Mutator.alloc_into m ~parent ~field ~ty:node ~nfields:4;
+      match Mutator.child m parent field with
+      | None -> assert false
+      | Some n ->
+        build (depth - 1) n 0;
+        build (depth - 1) n 1;
+        Mutator.drop m n
+    end
+  in
+  let scene = Mutator.alloc m ~ty:node ~nfields:4 in
+  build 10 scene 0;
+  build 10 scene 1;
+  (* Phase 2: rays. Overwhelmingly instantly dead temporaries. *)
+  let budget = 1_600_000 in
+  let i = ref 0 in
+  while Mutator.now m < budget do
+    incr i;
+    for _ = 1 to Prng.int_in rng 6 18 do
+      Mutator.alloc_temp m ~ty:ray ~nfields:(Prng.int_in rng 3 9)
+    done;
+    if !i mod 64 = 0 then
+      ignore (Mutator.alloc_dying m ~ty:hit ~nfields:10 ~dies_in:16_000);
+    Mutator.tick m
+  done;
+  Mutator.drop m scene;
+  Mutator.drain m
+
+(* ---------------------------------------------------------------- *)
+
+let db_run gc =
+  let m = Mutator.create ~seed:0xDB gc in
+  let bucket = Beltway.Gc.register_type gc ~name:"db.bucket" in
+  let record = Beltway.Gc.register_type gc ~name:"db.record" in
+  let value = Beltway.Gc.register_type gc ~name:"db.value" in
+  let temp = Beltway.Gc.register_type gc ~name:"db.temp" in
+  let rng = Mutator.rng m in
+  let nbuckets = 32 and per_bucket = 52 in
+  (* Phase 1: the database — buckets of records, each holding a value
+     object; all long-lived. *)
+  let buckets =
+    Array.init nbuckets (fun _ ->
+        let b = Mutator.alloc m ~ty:bucket ~nfields:per_bucket in
+        for i = 0 to per_bucket - 1 do
+          Mutator.alloc_into m ~parent:b ~field:i ~ty:record ~nfields:22
+        done;
+        b)
+  in
+  (* Give every record an initial value object. *)
+  Array.iter
+    (fun b ->
+      for i = 0 to per_bucket - 1 do
+        match Mutator.child m b i with
+        | None -> assert false
+        | Some r ->
+          Mutator.alloc_into m ~parent:r ~field:0 ~ty:value ~nfields:10;
+          Mutator.drop m r
+      done)
+    buckets;
+  (* Phase 2: queries and updates. Modest allocation; the signature
+     behaviour is update stores into *old* records. *)
+  let budget = 1_300_000 in
+  while Mutator.now m < budget do
+    for _ = 1 to Prng.int_in rng 2 6 do
+      Mutator.alloc_temp m ~ty:temp ~nfields:(Prng.int_in rng 6 28)
+    done;
+    if Prng.chance rng 0.10 then begin
+      (* Update: a fresh value stored into an old record (slow-path
+         barrier traffic); the previous value dies. *)
+      let b = buckets.(Prng.int rng nbuckets) in
+      match Mutator.child m b (Prng.int rng per_bucket) with
+      | None -> assert false
+      | Some r ->
+        Mutator.alloc_into m ~parent:r ~field:0 ~ty:value ~nfields:10;
+        Mutator.drop m r
+    end;
+    Mutator.tick m
+  done;
+  Array.iter (Mutator.drop m) buckets;
+  Mutator.drain m
+
+(* ---------------------------------------------------------------- *)
+
+let javac_run gc =
+  let m = Mutator.create ~seed:0xCAFE gc in
+  let ast = Beltway.Gc.register_type gc ~name:"javac.ast" in
+  let sym = Beltway.Gc.register_type gc ~name:"javac.sym" in
+  let tok = Beltway.Gc.register_type gc ~name:"javac.tok" in
+  let rng = Mutator.rng m in
+  (* AST node layout: fields 0-3 children, 4 symbol entry, 5 back edge
+     (cycle), 6 cross link, 7 payload. Children attach to dedicated
+     slots, so the whole unit is retained until dropped. *)
+  let units = 12 and nodes_per_unit = 3_000 in
+  (* Two units overlap: the previous unit is dropped only after the
+     next is built, as javac holds several phases of structure. *)
+  let prev = ref None in
+  for _u = 1 to units do
+    let root = Mutator.alloc m ~ty:ast ~nfields:8 in
+    let symtab = Mutator.alloc m ~ty:sym ~nfields:8 in
+    (* AST <-> symbol-table cross links: cycles by construction. *)
+    Mutator.link m ~from:root ~field:6 ~to_:symtab;
+    Mutator.link m ~from:symtab ~field:6 ~to_:root;
+    (* BFS frontier of nodes with free child slots, plus a pool of
+       recent nodes for back edges. *)
+    let frontier = Queue.create () in
+    Queue.add (Mutator.retain m (Mutator.get m root)) frontier;
+    let recent = Pool.create ~cap:48 in
+    let made = ref 0 in
+    while !made < nodes_per_unit && not (Queue.is_empty frontier) do
+      let parent = Queue.pop frontier in
+      let nkids = Prng.int_in rng 2 4 in
+      for k = 0 to nkids - 1 do
+        if !made < nodes_per_unit then begin
+          incr made;
+          (* Scanner and type-checker temporaries: the bulk of javac's
+             allocation is transient. *)
+          for _ = 1 to Prng.int_in rng 6 12 do
+            Mutator.alloc_temp m ~ty:tok ~nfields:(Prng.int_in rng 4 10)
+          done;
+          Mutator.alloc_into m ~parent ~field:k ~ty:ast ~nfields:8;
+          match Mutator.child m parent k with
+          | None -> assert false
+          | Some n ->
+            (* Back edges to older nodes: intra-unit cycles that span
+               increments once survivors are promoted. *)
+            if !made mod 10 = 0 then begin
+              match Pool.random m recent with
+              | Some older when Mutator.is_live m older ->
+                Mutator.link m ~from:n ~field:5 ~to_:older
+              | _ -> Mutator.link m ~from:n ~field:5 ~to_:root
+            end;
+            (* Symbol entries interleave with AST growth, pointing both
+               ways. *)
+            if !made mod 16 = 0 then begin
+              let e = Mutator.alloc m ~ty:sym ~nfields:4 in
+              Mutator.link m ~from:e ~field:0 ~to_:n;
+              Mutator.link m ~from:n ~field:4 ~to_:e;
+              Mutator.link m ~from:e ~field:1 ~to_:symtab;
+              Mutator.drop m e
+            end;
+            Pool.add m recent (Mutator.retain m (Mutator.get m n));
+            Queue.add n frontier
+        end
+      done;
+      Mutator.drop m parent;
+      Mutator.tick m
+    done;
+    Queue.iter (fun h -> Mutator.drop m h) frontier;
+    Pool.drop_all m recent;
+    (* Drop the unit before last: its cyclic structure becomes garbage
+       spanning many increments. *)
+    (match !prev with
+    | Some (r, s) ->
+      Mutator.drop m r;
+      Mutator.drop m s
+    | None -> ());
+    prev := Some (root, symtab);
+    Mutator.tick m
+  done;
+  (match !prev with
+  | Some (r, s) ->
+    Mutator.drop m r;
+    Mutator.drop m s
+  | None -> ());
+  Mutator.drain m
+
+(* ---------------------------------------------------------------- *)
+
+let jack_run gc =
+  let m = Mutator.create ~seed:0x1ACC gc in
+  let node = Beltway.Gc.register_type gc ~name:"jack.node" in
+  let tok = Beltway.Gc.register_type gc ~name:"jack.tok" in
+  let summary = Beltway.Gc.register_type gc ~name:"jack.sum" in
+  let rng = Mutator.rng m in
+  let passes = 16 in
+  let summaries = Mutator.alloc m ~ty:summary ~nfields:passes in
+  let words_per_pass = 4_000_000 / passes in
+  for p = 1 to passes do
+    let pass_start = Mutator.now m in
+    (* The pass builds a parse structure that lives until pass end. *)
+    let root = Mutator.alloc m ~ty:node ~nfields:10 in
+    let spine = ref (Mutator.retain m (Mutator.get m root)) in
+    while Mutator.now m - pass_start < words_per_pass do
+      (* Token soup. *)
+      for _ = 1 to Prng.int_in rng 3 10 do
+        Mutator.alloc_temp m ~ty:tok ~nfields:(Prng.int_in rng 2 7)
+      done;
+      (* Grow the parse list: each element hangs off the previous. *)
+      if Prng.chance rng 0.35 then begin
+        let cur = !spine in
+        Mutator.alloc_into m ~parent:cur ~field:0 ~ty:node ~nfields:10;
+        (match Mutator.child m cur 0 with
+        | Some next ->
+          Mutator.drop m cur;
+          spine := next
+        | None -> assert false)
+      end;
+      Mutator.tick m
+    done;
+    Mutator.drop m !spine;
+    (* Keep a small per-pass summary, drop the pass structure. *)
+    Mutator.alloc_into m ~parent:summaries ~field:(p - 1) ~ty:summary ~nfields:6;
+    Mutator.drop m root
+  done;
+  Mutator.drop m summaries;
+  Mutator.drain m
+
+(* ---------------------------------------------------------------- *)
+
+let pseudojbb_run gc =
+  let m = Mutator.create ~seed:0x1BB gc in
+  let table = Beltway.Gc.register_type gc ~name:"jbb.table" in
+  let item = Beltway.Gc.register_type gc ~name:"jbb.item" in
+  let customer = Beltway.Gc.register_type gc ~name:"jbb.customer" in
+  let order = Beltway.Gc.register_type gc ~name:"jbb.order" in
+  let line = Beltway.Gc.register_type gc ~name:"jbb.line" in
+  let hist = Beltway.Gc.register_type gc ~name:"jbb.hist" in
+  let rng = Mutator.rng m in
+  (* Warehouse database: item and customer tables, long-lived. *)
+  let mk_table ty n fields per_bucket =
+    let nbuckets = (n + per_bucket - 1) / per_bucket in
+    Array.init nbuckets (fun _ ->
+        let b = Mutator.alloc m ~ty:table ~nfields:per_bucket in
+        for i = 0 to per_bucket - 1 do
+          Mutator.alloc_into m ~parent:b ~field:i ~ty ~nfields:fields
+        done;
+        b)
+  in
+  let items = mk_table item 2600 10 64 in
+  let customers = mk_table customer 1300 18 64 in
+  (* Order-history ring: long-lived with FIFO replacement. *)
+  let hist_cap = 72 and hist_fields = 40 in
+  let history =
+    Array.init hist_cap (fun _ -> Mutator.alloc m ~ty:table ~nfields:hist_fields)
+  in
+  let hist_head = ref 0 in
+  (* A fixed number of transactions — the pseudojbb modification. *)
+  let transactions = 26_000 in
+  for txn = 1 to transactions do
+    (* New order: a cluster of order lines, dead at transaction end. *)
+    let o = Mutator.alloc m ~ty:order ~nfields:16 in
+    let nlines = Prng.int_in rng 5 15 in
+    for l = 0 to nlines - 1 do
+      Mutator.alloc_into m ~parent:o ~field:l ~ty:line ~nfields:8
+    done;
+    (* Stock lookups: temporaries. *)
+    for _ = 1 to Prng.int_in rng 2 8 do
+      Mutator.alloc_temp m ~ty:line ~nfields:(Prng.int_in rng 3 8)
+    done;
+    (* 4%% of orders enter the history ring (evicting the oldest slot's
+       entry): medium/long-lived survivors. *)
+    if Prng.chance rng 0.04 then begin
+      let slot = history.(!hist_head mod hist_cap) in
+      incr hist_head;
+      let e = Mutator.alloc m ~ty:hist ~nfields:12 in
+      Mutator.link m ~from:e ~field:0 ~to_:o;
+      (* Store into an old ring bucket: old-to-young pointer. *)
+      Mutator.link m ~from:slot ~field:(!hist_head mod hist_fields) ~to_:e;
+      Mutator.drop m e
+    end;
+    (* Payments update old customers in place. *)
+    if Prng.chance rng 0.08 then begin
+      let b = customers.(Prng.int rng (Array.length customers)) in
+      match Mutator.child m b (Prng.int rng 64) with
+      | Some c ->
+        Mutator.alloc_into m ~parent:c ~field:0 ~ty:line ~nfields:6;
+        Mutator.drop m c
+      | None -> assert false
+    end;
+    (* Price checks read items (no allocation). *)
+    ignore (Mutator.read_field m items.(Prng.int rng (Array.length items)) 0);
+    Mutator.drop m o;
+    if txn mod 32 = 0 then Mutator.tick m
+  done;
+  Array.iter (Mutator.drop m) items;
+  Array.iter (Mutator.drop m) customers;
+  Array.iter (Mutator.drop m) history;
+  Mutator.drain m
+
+(* ---------------------------------------------------------------- *)
+
+let jess =
+  {
+    name = "jess";
+    description = "expert-system shell: very high allocation rate, generational mix";
+    total_alloc_words = 3_700_000;
+    live_hint_words = 26_000;
+    min_heap_hint_frames = 64;
+    run = jess_run;
+  }
+
+let raytrace =
+  {
+    name = "raytrace";
+    description = "ray tracer: long-lived scene + instantly dead ray temporaries";
+    total_alloc_words = 1_600_000;
+    live_hint_words = 34_000;
+    min_heap_hint_frames = 80;
+    run = raytrace_run;
+  }
+
+let db =
+  {
+    name = "db";
+    description = "in-memory database: big old working set, update stores, light GC load";
+    total_alloc_words = 1_300_000;
+    live_hint_words = 52_000;
+    min_heap_hint_frames = 120;
+    run = db_run;
+  }
+
+let javac =
+  {
+    name = "javac";
+    description = "compiler: per-unit cyclic ASTs dropped en masse";
+    total_alloc_words = 3_300_000;
+    live_hint_words = 60_000;
+    min_heap_hint_frames = 140;
+    run = javac_run;
+  }
+
+let jack =
+  {
+    name = "jack";
+    description = "parser generator: repeated passes of medium-lived structure";
+    total_alloc_words = 4_000_000;
+    live_hint_words = 40_000;
+    min_heap_hint_frames = 100;
+    run = jack_run;
+  }
+
+let pseudojbb =
+  {
+    name = "pseudojbb";
+    description = "3-tier transaction processing, fixed transaction count";
+    total_alloc_words = 4_100_000;
+    live_hint_words = 150_000;
+    min_heap_hint_frames = 320;
+    run = pseudojbb_run;
+  }
+
+let all = [ jess; raytrace; db; javac; jack; pseudojbb ]
+let by_name n = List.find_opt (fun b -> b.name = n) all

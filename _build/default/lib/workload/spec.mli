@@ -1,0 +1,49 @@
+(** Synthetic analogues of the paper's six benchmarks (Table 1).
+
+    The paper evaluates on five SPEC JVM98 programs plus pseudojbb.
+    Those binaries (and a JVM to run them) are not available here, so
+    each is modelled as a deterministic synthetic mutator reproducing
+    the properties that drive collector behaviour: allocation volume,
+    object size and lifetime distributions, pointer-mutation rate
+    (especially old-to-young stores), heap shape (trees, tables,
+    rings), and each benchmark's signature pathology —
+
+    - [jess]: very high allocation rate, classic weak-generational
+      lifetime mixture;
+    - [raytrace]: long-lived scene built up front, then a torrent of
+      instantly dead per-ray temporaries;
+    - [db]: a long-lived database with low allocation and frequent
+      old-to-young update stores (GC is not the dominant cost);
+    - [javac]: per-compilation-unit ASTs with {e cross-increment
+      cycles} dropped en masse — the structure that an incomplete
+      collector (Beltway X.X) can never reclaim (S4.2.4);
+    - [jack]: repeated parser-generator passes of medium-lived data;
+    - [pseudojbb]: a fixed transaction count over a warehouse database
+      with an order-history ring, the largest live set of the six.
+
+    All sizes are scaled down ~50x from the paper (minimum heaps of
+    hundreds of KiB rather than tens of MiB) so that full heap-size
+    sweeps run in seconds; the ratios between benchmarks follow
+    Table 1. *)
+
+type t = {
+  name : string;
+  description : string;
+  total_alloc_words : int; (** allocation budget: the run's length *)
+  live_hint_words : int; (** approximate steady live set *)
+  min_heap_hint_frames : int; (** starting point for min-heap search *)
+  run : Beltway.Gc.t -> unit; (** drive the heap; raises [Gc.Out_of_memory]
+                                  when the heap is too small *)
+}
+
+val jess : t
+val raytrace : t
+val db : t
+val javac : t
+val jack : t
+val pseudojbb : t
+
+val all : t list
+(** The six, in the paper's order. *)
+
+val by_name : string -> t option

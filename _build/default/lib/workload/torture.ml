@@ -1,0 +1,152 @@
+module Prng = Beltway_util.Prng
+
+type t = {
+  name : string;
+  description : string;
+  run : Beltway.Gc.t -> unit;
+}
+
+let high_survival_run gc =
+  let ty = Beltway.Gc.register_type gc ~name:"torture.hs" in
+  let roots = Beltway.Gc.roots gc in
+  (* a rolling window that retains ~90% of recent allocation *)
+  let window = Array.init 2_000 (fun _ -> Roots.new_global roots Value.null) in
+  let rng = Prng.create ~seed:0x70A7 in
+  for i = 1 to 40_000 do
+    let a = Beltway.Gc.alloc gc ~ty ~nfields:6 in
+    Beltway.Gc.write gc a 0 (Value.of_int i);
+    if not (Prng.chance rng 0.1) then
+      Roots.set_global roots window.(i mod 2_000) (Value.of_addr a)
+  done;
+  Array.iter (fun g -> Roots.set_global roots g Value.null) window
+
+let pointer_storm_run gc =
+  let ty = Beltway.Gc.register_type gc ~name:"torture.ps" in
+  let roots = Beltway.Gc.roots gc in
+  let olds =
+    Array.init 8 (fun _ ->
+        let a = Beltway.Gc.alloc gc ~ty ~nfields:8 in
+        Roots.new_global roots (Value.of_addr a))
+  in
+  Beltway.Gc.full_collect gc;
+  let rng = Prng.create ~seed:0x5707 in
+  for i = 1 to 120_000 do
+    (* mostly pointer writes, occasional allocation *)
+    if i mod 8 = 0 then begin
+      let young = Beltway.Gc.alloc gc ~ty ~nfields:2 in
+      let o = Value.to_addr (Roots.get_global roots olds.(Prng.int rng 8)) in
+      Beltway.Gc.write gc o (Prng.int rng 8) (Value.of_addr young)
+    end
+    else begin
+      let o = Value.to_addr (Roots.get_global roots olds.(Prng.int rng 8)) in
+      let o' = Roots.get_global roots olds.(Prng.int rng 8) in
+      Beltway.Gc.write gc o (Prng.int rng 8) o'
+    end
+  done;
+  Array.iter (fun g -> Roots.set_global roots g Value.null) olds
+
+let fragmentation_run gc =
+  let ty = Beltway.Gc.register_type gc ~name:"torture.fr" in
+  let roots = Beltway.Gc.roots gc in
+  let frame_words = Beltway.Gc.frame_bytes gc / 4 in
+  let big = max 8 (frame_words * 2 / 3) - 2 in
+  let keep = Array.init 64 (fun _ -> Roots.new_global roots Value.null) in
+  let rng = Prng.create ~seed:0xF4A6 in
+  for i = 1 to 4_000 do
+    (* a big object (two-thirds of a frame) then a burst of tiny ones:
+       every frame seam wastes ~a third of a frame *)
+    let a = Beltway.Gc.alloc gc ~ty ~nfields:big in
+    if Prng.chance rng 0.25 then Roots.set_global roots keep.(i mod 64) (Value.of_addr a);
+    for _ = 1 to 5 do
+      ignore (Beltway.Gc.alloc gc ~ty ~nfields:1)
+    done
+  done;
+  Array.iter (fun g -> Roots.set_global roots g Value.null) keep
+
+let deep_lists_run gc =
+  let ty = Beltway.Gc.register_type gc ~name:"torture.dl" in
+  let roots = Beltway.Gc.roots gc in
+  let head = Roots.new_global roots Value.null in
+  (* one chain threaded through every increment the heap ever makes *)
+  for i = 1 to 25_000 do
+    let a = Beltway.Gc.alloc gc ~ty ~nfields:2 in
+    Beltway.Gc.write gc a 0 (Value.of_int i);
+    Beltway.Gc.write gc a 1 (Roots.get_global roots head);
+    Roots.set_global roots head (Value.of_addr a);
+    (* periodically truncate the tail to keep it fitting *)
+    if i mod 5_000 = 0 then begin
+      let rec nth v n =
+        if n = 0 || Value.is_null v then v
+        else nth (Beltway.Gc.read gc (Value.to_addr v) 1) (n - 1)
+      in
+      let cut = nth (Roots.get_global roots head) 1_000 in
+      if Value.is_ref cut then Beltway.Gc.write gc (Value.to_addr cut) 1 Value.null
+    end
+  done;
+  Roots.set_global roots head Value.null
+
+let churn_spikes_run gc =
+  let ty = Beltway.Gc.register_type gc ~name:"torture.cs" in
+  let roots = Beltway.Gc.roots gc in
+  let held = ref [] in
+  for phase = 1 to 10 do
+    if phase land 1 = 1 then
+      (* pure garbage: everything dies instantly *)
+      for _ = 1 to 8_000 do
+        ignore (Beltway.Gc.alloc gc ~ty ~nfields:4)
+      done
+    else begin
+      (* pure retention: everything this phase survives *)
+      for _ = 1 to 1_500 do
+        let a = Beltway.Gc.alloc gc ~ty ~nfields:4 in
+        held := Roots.new_global roots (Value.of_addr a) :: !held
+      done;
+      (* then release the previous retention phase *)
+      match !held with
+      | _ :: _ when phase > 2 ->
+        let n = List.length !held in
+        List.iteri
+          (fun i g -> if i >= n / 2 then Roots.set_global roots g Value.null)
+          !held;
+        held := List.filteri (fun i _ -> i < n / 2) !held
+      | _ -> ()
+    end
+  done;
+  List.iter (fun g -> Roots.set_global roots g Value.null) !held
+
+let high_survival =
+  {
+    name = "high-survival";
+    description = "~90% of allocation survives: copy-reserve worst case";
+    run = high_survival_run;
+  }
+
+let pointer_storm =
+  {
+    name = "pointer-storm";
+    description = "old objects rewritten with young refs at extreme rate";
+    run = pointer_storm_run;
+  }
+
+let fragmentation =
+  {
+    name = "fragmentation";
+    description = "alternating near-frame-sized and tiny objects";
+    run = fragmentation_run;
+  }
+
+let deep_lists =
+  {
+    name = "deep-lists";
+    description = "one chain threaded through every increment";
+    run = deep_lists_run;
+  }
+
+let churn_spikes =
+  {
+    name = "churn-spikes";
+    description = "alternating all-garbage and all-retained phases";
+    run = churn_spikes_run;
+  }
+
+let all = [ high_survival; pointer_storm; fragmentation; deep_lists; churn_spikes ]

@@ -1,0 +1,35 @@
+(** Adversarial workloads.
+
+    The six [Spec] benchmarks model well-behaved programs; these
+    deliberately do not. Each scenario attacks one collector mechanism:
+
+    - {!high_survival}: nearly everything survives every collection —
+      worst case for the copy reserve and promotion chain;
+    - {!pointer_storm}: a small set of old objects rewritten with young
+      references at an extreme rate — remset growth/dedup and card
+      re-dirtying;
+    - {!fragmentation}: alternating tiny and near-frame-sized objects —
+      frame-seam waste and the reserve's fragmentation pad;
+    - {!deep_lists}: single long chains crossing every increment —
+      worst-case scan depth and cross-increment pointer density;
+    - {!churn_spikes}: alternating phases of pure garbage and pure
+      retention — belt occupancy whiplash, triggers firing in both
+      directions.
+
+    Each returns normally or raises [Beltway.Gc.Out_of_memory]; in
+    either case the heap must remain structurally sound (the test suite
+    verifies integrity afterwards for every configuration). *)
+
+type t = {
+  name : string;
+  description : string;
+  run : Beltway.Gc.t -> unit;
+}
+
+val high_survival : t
+val pointer_storm : t
+val fragmentation : t
+val deep_lists : t
+val churn_spikes : t
+
+val all : t list

@@ -1,0 +1,173 @@
+module Prng = Beltway_util.Prng
+
+type op =
+  | Alloc of { root : int; nfields : int }
+  | Write of { src : int; field : int; dst : int }
+  | Write_int of { src : int; field : int; v : int }
+  | Write_null of { src : int; field : int }
+  | Copy_root of { src : int; dst : int }
+  | Clear_root of { root : int }
+  | Deref of { src : int; field : int; dst : int }
+  | Collect
+
+type trace = { nroots : int; ops : op list }
+
+let pp_op fmt = function
+  | Alloc { root; nfields } -> Format.fprintf fmt "r%d := alloc(%d)" root nfields
+  | Write { src; field; dst } -> Format.fprintf fmt "r%d.%d := r%d" src field dst
+  | Write_int { src; field; v } -> Format.fprintf fmt "r%d.%d := %d" src field v
+  | Write_null { src; field } -> Format.fprintf fmt "r%d.%d := null" src field
+  | Copy_root { src; dst } -> Format.fprintf fmt "r%d := r%d" dst src
+  | Clear_root { root } -> Format.fprintf fmt "r%d := null" root
+  | Deref { src; field; dst } -> Format.fprintf fmt "r%d := r%d.%d" dst src field
+  | Collect -> Format.fprintf fmt "collect"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>trace (%d roots):@," t.nroots;
+  List.iter (fun op -> Format.fprintf fmt "  %a@," pp_op op) t.ops;
+  Format.fprintf fmt "@]"
+
+let random ~seed ~nroots ~len =
+  let rng = Prng.create ~seed in
+  let r () = Prng.int rng nroots in
+  let f () = Prng.int rng 8 in
+  let ops =
+    List.init len (fun _ ->
+        let x = Prng.int rng 100 in
+        if x < 35 then Alloc { root = r (); nfields = Prng.int_in rng 0 7 }
+        else if x < 60 then Write { src = r (); field = f (); dst = r () }
+        else if x < 70 then Write_int { src = r (); field = f (); v = Prng.int rng 10_000 }
+        else if x < 75 then Write_null { src = r (); field = f () }
+        else if x < 83 then Copy_root { src = r (); dst = r () }
+        else if x < 88 then Clear_root { root = r () }
+        else if x < 98 then Deref { src = r (); field = f (); dst = r () }
+        else Collect)
+  in
+  { nroots; ops }
+
+(* ---- heap execution ------------------------------------------------ *)
+
+let execute_with gc t =
+  let roots = Beltway.Gc.roots gc in
+  let slots = Array.init t.nroots (fun _ -> Roots.new_global roots Value.null) in
+  let ty = Beltway.Gc.register_type gc ~name:"trace.obj" in
+  let get i = Roots.get_global roots slots.(i) in
+  let set i v = Roots.set_global roots slots.(i) v in
+  let with_obj i k =
+    let v = get i in
+    if Value.is_ref v then k (Value.to_addr v)
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Alloc { root; nfields } ->
+        let a = Beltway.Gc.alloc gc ~ty ~nfields in
+        set root (Value.of_addr a)
+      | Write { src; field; dst } ->
+        with_obj src (fun a ->
+            if field < Beltway.Gc.nfields gc a then begin
+              let v = get dst in
+              Beltway.Gc.write gc a field v
+            end)
+      | Write_int { src; field; v } ->
+        with_obj src (fun a ->
+            if field < Beltway.Gc.nfields gc a then
+              Beltway.Gc.write gc a field (Value.of_int v))
+      | Write_null { src; field } ->
+        with_obj src (fun a ->
+            if field < Beltway.Gc.nfields gc a then
+              Beltway.Gc.write gc a field Value.null)
+      | Copy_root { src; dst } -> set dst (get src)
+      | Clear_root { root } -> set root Value.null
+      | Deref { src; field; dst } ->
+        with_obj src (fun a ->
+            if field < Beltway.Gc.nfields gc a then
+              set dst (Beltway.Gc.read gc a field))
+      | Collect -> Beltway.Gc.collect gc)
+    t.ops;
+  slots
+
+let execute gc t = ignore (execute_with gc t)
+
+(* ---- mirror execution ---------------------------------------------- *)
+
+type mirror_obj = { mutable fields : mirror_value array; serial : int }
+and mirror_value = MNull | MInt of int | MRef of mirror_obj
+
+let execute_mirror t =
+  let roots = Array.make t.nroots MNull in
+  let serial = ref 0 in
+  let with_obj i k = match roots.(i) with MRef o -> k o | _ -> () in
+  List.iter
+    (fun op ->
+      match op with
+      | Alloc { root; nfields } ->
+        incr serial;
+        roots.(root) <- MRef { fields = Array.make nfields MNull; serial = !serial }
+      | Write { src; field; dst } ->
+        with_obj src (fun o ->
+            if field < Array.length o.fields then o.fields.(field) <- roots.(dst))
+      | Write_int { src; field; v } ->
+        with_obj src (fun o ->
+            if field < Array.length o.fields then o.fields.(field) <- MInt v)
+      | Write_null { src; field } ->
+        with_obj src (fun o ->
+            if field < Array.length o.fields then o.fields.(field) <- MNull)
+      | Copy_root { src; dst } -> roots.(dst) <- roots.(src)
+      | Clear_root { root } -> roots.(root) <- MNull
+      | Deref { src; field; dst } ->
+        with_obj src (fun o ->
+            if field < Array.length o.fields then roots.(dst) <- o.fields.(field))
+      | Collect -> ())
+    t.ops;
+  roots
+
+(* ---- comparison ----------------------------------------------------- *)
+
+let compare_with_mirror gc t =
+  let slots = execute_with gc t in
+  let mirror_roots = execute_mirror t in
+  let roots = Beltway.Gc.roots gc in
+  let paired : (Addr.t, mirror_obj) Hashtbl.t = Hashtbl.create 64 in
+  let rpaired : (int, Addr.t) Hashtbl.t = Hashtbl.create 64 in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec cmp hv mv =
+    match (Value.is_null hv, Value.is_int hv, mv) with
+    | true, _, MNull -> Ok ()
+    | _, true, MInt n when Value.to_int hv = n -> Ok ()
+    | false, false, MRef o -> begin
+      let a = Value.to_addr hv in
+      match (Hashtbl.find_opt paired a, Hashtbl.find_opt rpaired o.serial) with
+      | Some o', _ when o' == o -> Ok ()
+      | Some o', _ -> err "address %#x paired with two mirror objects (%d, %d)" a o'.serial o.serial
+      | None, Some a' -> err "mirror object %d paired with two addresses (%#x, %#x)" o.serial a' a
+      | None, None ->
+        Hashtbl.replace paired a o;
+        Hashtbl.replace rpaired o.serial a;
+        let n = Beltway.Gc.nfields gc a in
+        if n <> Array.length o.fields then
+          err "object %#x has %d fields, mirror %d has %d" a n o.serial
+            (Array.length o.fields)
+        else begin
+          let rec fields i =
+            if i = n then Ok ()
+            else begin
+              match cmp (Beltway.Gc.read gc a i) o.fields.(i) with
+              | Ok () -> fields (i + 1)
+              | Error e -> Error e
+            end
+          in
+          fields 0
+        end
+    end
+    | _ -> err "value mismatch: heap %a vs mirror" Value.pp hv
+  in
+  let rec roots_cmp i =
+    if i = t.nroots then Ok ()
+    else begin
+      match cmp (Roots.get_global roots slots.(i)) mirror_roots.(i) with
+      | Ok () -> roots_cmp (i + 1)
+      | Error e -> Error (Printf.sprintf "root %d: %s" i e)
+    end
+  in
+  roots_cmp 0

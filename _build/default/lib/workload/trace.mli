@@ -1,0 +1,56 @@
+(** Flat mutation traces: the differential-testing workhorse.
+
+    A trace is a sequence of primitive heap operations over a fixed set
+    of root slots. The same trace can be executed against (a) a
+    [Beltway.Gc] heap — under any collector configuration — and (b) a
+    {e mirror}: a plain OCaml object graph that needs no collector at
+    all. After execution the two are compared structurally; any
+    divergence means the collector lost, corrupted or failed to update
+    an object. Random traces (seeded) drive the qcheck properties that
+    every configuration preserves mutator semantics.
+
+    Operations deliberately include the patterns that stress Beltway:
+    old-to-young stores, long chains crossing increments, cycle
+    creation, and root churn. *)
+
+type op =
+  | Alloc of { root : int; nfields : int }
+      (** allocate and store into root slot [root] *)
+  | Write of { src : int; field : int; dst : int }
+      (** roots[src].fields[field] <- roots[dst] (no-op if either root
+          is null or the field is out of bounds) *)
+  | Write_int of { src : int; field : int; v : int }
+  | Write_null of { src : int; field : int }
+  | Copy_root of { src : int; dst : int }  (** roots[dst] <- roots[src] *)
+  | Clear_root of { root : int }
+  | Deref of { src : int; field : int; dst : int }
+      (** roots[dst] <- roots[src].fields[field] (walks into
+          structures, keeping interior nodes directly rooted) *)
+  | Collect  (** force a policy collection *)
+
+type trace = { nroots : int; ops : op list }
+
+val random : seed:int -> nroots:int -> len:int -> trace
+(** A random trace biased toward structure building and mutation. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> trace -> unit
+
+val execute : Beltway.Gc.t -> trace -> unit
+(** Run against a real heap (roots live in fresh global slots).
+    @raise Beltway.Gc.Out_of_memory if the heap is too small. *)
+
+(** {2 The mirror} *)
+
+type mirror_obj = { mutable fields : mirror_value array; serial : int }
+and mirror_value = MNull | MInt of int | MRef of mirror_obj
+
+val execute_mirror : trace -> mirror_value array
+(** Run against the pure-OCaml mirror; returns final root values. *)
+
+val compare_with_mirror : Beltway.Gc.t -> trace -> (unit, string) result
+(** Execute on both, then compare the reachable graphs from the roots
+    structurally (field-by-field, cycle-aware). [Ok ()] iff
+    isomorphic. The heap execution uses fresh global root slots; the
+    heap must not have been otherwise mutated between [execute] and
+    the comparison — this function does both itself. *)

@@ -1,0 +1,13 @@
+  $ beltlang -p nqueens
+  $ beltlang -p tak -g ss
+  $ beltlang --list
+  $ cat > hello.bl <<'EOF'
+  > (define (square x) (* x x))
+  > (print (square 12))
+  > EOF
+  $ beltlang hello.bl
+  $ beltlang -p tak -g bogus
+  $ beltway-run -g 25.25.100 -b raytrace -H 1024 -q --verify
+  $ beltway-run -g of:25 -b jess -H 1024 -q --verify
+  $ beltway-run -g appel -b pseudojbb -H 64 -q 2>&1 | head -c 13
+  $ beltway-experiments --list

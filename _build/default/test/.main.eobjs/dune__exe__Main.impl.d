@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_beltlang Test_cards Test_config Test_core Test_gc Test_heap Test_los Test_schedule Test_sim Test_torture Test_trace Test_util Test_workload

@@ -1,0 +1,1 @@
+test/test_beltlang.ml: Alcotest Beltlang Beltway List Printf Result Value

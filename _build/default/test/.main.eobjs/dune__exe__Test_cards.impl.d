@@ -1,0 +1,1 @@
+test/test_cards.ml: Alcotest Beltway Beltway_util Beltway_workload List Result Roots Value

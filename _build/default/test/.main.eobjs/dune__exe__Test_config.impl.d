@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Array Beltway Beltway_workload List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Beltway Beltway_util List Memory Object_model Option Result Value

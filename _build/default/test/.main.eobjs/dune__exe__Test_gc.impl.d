@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Array Beltway Beltway_util Format Hashtbl List Object_model Option Result Roots String Value

@@ -1,0 +1,1 @@
+test/test_heap.ml: Addr Alcotest Boot_space List Memory Object_model Printf QCheck QCheck_alcotest Roots Type_registry Value

@@ -1,0 +1,1 @@
+test/test_los.ml: Alcotest Beltway Beltway_workload List Option Result Roots Value

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Beltway Beltway_workload Hashtbl List QCheck QCheck_alcotest Result Roots Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Beltway Beltway_sim Beltway_workload Gen List QCheck QCheck_alcotest

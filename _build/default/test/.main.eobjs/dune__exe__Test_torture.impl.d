@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Beltway Beltway_workload Fun List Printf Result

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Beltway Beltway_workload List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Beltway_util Fun List QCheck QCheck_alcotest String

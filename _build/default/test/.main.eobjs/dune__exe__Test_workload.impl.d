@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Beltway Beltway_util Beltway_workload List Printf Result Value

@@ -1,0 +1,63 @@
+The command-line surface, end to end.
+
+Interpreted programs run on a Beltway-collected heap:
+
+  $ beltlang -p nqueens
+  92
+
+  $ beltlang -p tak -g ss
+  7
+
+  $ beltlang --list
+  gcbench      Boehm's GCBench (scaled): temporary binary trees built top-down and bottom-up under a long-lived tree
+  nqueens      8-queens solution count by list-based backtracking
+  list-sort    merge sort over an LCG-generated 400-element list
+  queue-churn  imperative bounded ring over a vector, cycled heavily: steady old-to-young stores
+  tak          the Takeuchi function: deep recursion, heavy frame churn
+  sieve        primes below 1000 by repeated closure-based list filtering
+  dict         association-list dictionary under insert/update/lookup load
+
+A program from a file:
+
+  $ cat > hello.bl <<'EOF'
+  > (define (square x) (* x x))
+  > (print (square 12))
+  > EOF
+  $ beltlang hello.bl
+  144
+
+Bad collector specifications are rejected:
+
+  $ beltlang -p tak -g bogus
+  error: unrecognised collector "bogus" (try: ss, appel, appel3, fixed:N, ofm:N, of:N, X.Y, X.Y.100)
+  [2]
+
+Synthetic benchmarks with heap-integrity verification:
+
+  $ beltway-run -g 25.25.100 -b raytrace -H 1024 -q --verify
+  heap integrity: OK
+
+  $ beltway-run -g of:25 -b jess -H 1024 -q --verify
+  heap integrity: OK
+
+A heap that is too small fails like a benchmark in the paper:
+
+  $ beltway-run -g appel -b pseudojbb -H 64 -q 2>&1 | head -c 13
+  OUT OF MEMORY
+
+The experiment registry:
+
+  $ beltway-experiments --list
+  table1
+  fig1
+  fig5
+  fig6
+  fig7
+  fig8
+  fig9
+  fig10
+  fig11
+  ablate
+  xy
+  interp
+  sensitivity

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "beltway"
+    [
+      ("util", Test_util.suite);
+      ("heap", Test_heap.suite);
+      ("config", Test_config.suite);
+      ("core", Test_core.suite);
+      ("schedule", Test_schedule.suite);
+      ("gc", Test_gc.suite);
+      ("los", Test_los.suite);
+      ("cards", Test_cards.suite);
+      ("trace", Test_trace.suite);
+      ("workload", Test_workload.suite);
+      ("torture", Test_torture.suite);
+      ("beltlang", Test_beltlang.suite);
+      ("sim", Test_sim.suite);
+    ]

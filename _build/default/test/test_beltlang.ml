@@ -1,0 +1,287 @@
+(* Tests for the Beltlang reader, compiler and interpreter, including
+   cross-configuration output equality for the bundled programs. *)
+
+module Sexp = Beltlang.Sexp
+module Ast = Beltlang.Ast
+module Interp = Beltlang.Interp
+module Programs = Beltlang.Programs
+module Gc = Beltway.Gc
+module Config = Beltway.Config
+
+let checks = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let gc_of ?(heap_kb = 512) config_str =
+  let config = Result.get_ok (Config.parse config_str) in
+  Gc.create ~config ~heap_bytes:(heap_kb * 1024) ()
+
+let eval_output ?heap_kb ?(config = "25.25.100") src =
+  let it = Interp.create (gc_of ?heap_kb config) in
+  Interp.run_string it src;
+  Interp.output it
+
+(* ---- reader ---- *)
+
+let test_sexp_atoms () =
+  (match Sexp.parse_string "foo 42 #t" with
+  | [ Sexp.Atom "foo"; Sexp.Atom "42"; Sexp.Atom "#t" ] -> ()
+  | _ -> Alcotest.fail "bad parse");
+  match Sexp.parse_string "" with
+  | [] -> ()
+  | _ -> Alcotest.fail "empty input should give no forms"
+
+let test_sexp_nesting () =
+  match Sexp.parse_string "(a (b c) ())" with
+  | [ Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ]; Sexp.List [] ] ]
+    -> ()
+  | _ -> Alcotest.fail "bad nesting"
+
+let test_sexp_quote_comment () =
+  match Sexp.parse_string "'(1 2) ; trailing comment\n3" with
+  | [ Sexp.List [ Sexp.Atom "quote"; Sexp.List [ Sexp.Atom "1"; Sexp.Atom "2" ] ];
+      Sexp.Atom "3" ] -> ()
+  | _ -> Alcotest.fail "bad quote/comment"
+
+let test_sexp_errors () =
+  List.iter
+    (fun src ->
+      checkb src true
+        (try
+           ignore (Sexp.parse_string src);
+           false
+         with Sexp.Parse_error _ -> true))
+    [ "("; ")"; "(a"; "'" ]
+
+(* ---- compiler ---- *)
+
+let test_compile_unbound () =
+  checkb "unbound" true
+    (try
+       ignore (Ast.compile (Sexp.parse_string "(+ x 1)"));
+       false
+     with Ast.Compile_error _ -> true)
+
+let test_compile_arity () =
+  checkb "prim arity" true
+    (try
+       ignore (Ast.compile (Sexp.parse_string "(cons 1)"));
+       false
+     with Ast.Compile_error _ -> true)
+
+let test_compile_scoping () =
+  (* let shadows globals; inner lambda sees outer params *)
+  checks "scoping" "3\n10\n"
+    (eval_output
+       {|
+(define x 10)
+(let ((x 1))
+  (print ((lambda (y) (+ x y)) 2)))
+(print x)
+|})
+
+let test_compile_forward_reference () =
+  (* mutual recursion via pre-declared globals *)
+  checks "mutual recursion" "1\n"
+    (eval_output
+       {|
+(define (even? n) (if (= n 0) #t (odd? (- n 1))))
+(define (odd? n) (if (= n 0) #f (even? (- n 1))))
+(print (even? 10))
+|})
+
+(* ---- interpreter semantics ---- *)
+
+let test_arith () =
+  checks "arith" "14\n2\n6\n3\n1\n"
+    (eval_output "(print (+ 2 12)) (print (- 14 12)) (print (* 2 3)) (print (/ 7 2)) (print (mod 7 2))")
+
+let test_comparisons () =
+  checks "cmp" "1\n0\n1\n1\n0\n1\n"
+    (eval_output
+       "(print (< 1 2)) (print (> 1 2)) (print (<= 2 2)) (print (>= 2 2)) (print (= 1 2)) (print (= 3 3))")
+
+let test_division_by_zero () =
+  checkb "div0" true
+    (try
+       ignore (eval_output "(print (/ 1 0))");
+       false
+     with Interp.Runtime_error _ -> true)
+
+let test_closures_capture () =
+  checks "closure capture" "15\n"
+    (eval_output
+       {|
+(define (adder n) (lambda (x) (+ x n)))
+(define add5 (adder 5))
+(print (add5 10))
+|})
+
+let test_closure_shared_state () =
+  checks "set! through closure" "1\n2\n3\n"
+    (eval_output
+       {|
+(define (counter)
+  (let ((n 0))
+    (lambda () (begin (set! n (+ n 1)) n))))
+(define c (counter))
+(print (c)) (print (c)) (print (c))
+|})
+
+let test_recursion () =
+  checks "fib" "55\n" (eval_output "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (print (fib 10))")
+
+let test_lists () =
+  checks "lists" "1\n(2 3)\n(1 2 3)\n"
+    (eval_output
+       {|
+(define l (cons 1 (cons 2 (cons 3 nil))))
+(print (car l))
+(print (cdr l))
+(print l)
+|})
+
+let test_list_mutation () =
+  checks "set-car!/set-cdr!" "(9 . 8)\n"
+    (eval_output
+       {|
+(define p (cons 1 2))
+(set-car! p 9)
+(set-cdr! p 8)
+(print p)
+|})
+
+let test_quote () =
+  checks "quote" "(1 2 (3 4))\n" (eval_output "(print '(1 2 (3 4)))")
+
+let test_vectors () =
+  checks "vectors" "3\n0\n7\n"
+    (eval_output
+       {|
+(define v (make-vector 3 0))
+(print (vector-length v))
+(print (vector-ref v 1))
+(vector-set! v 1 7)
+(print (vector-ref v 1))
+|})
+
+let test_vector_bounds () =
+  checkb "vector oob" true
+    (try
+       ignore (eval_output "(vector-ref (make-vector 2 0) 5)");
+       false
+     with Interp.Runtime_error _ -> true)
+
+let test_while_set () =
+  checks "while" "45\n"
+    (eval_output
+       {|
+(define i 0) (define sum 0)
+(while (< i 10) (begin (set! sum (+ sum i)) (set! i (+ i 1))))
+(print sum)
+|})
+
+let test_and_or () =
+  checks "and/or" "0\n1\n5\n1\n"
+    (eval_output
+       "(print (and #t #f)) (print (and #t #t)) (print (or #f 5)) (print (or #t #f))")
+
+let test_predicates () =
+  checks "predicates" "1\n0\n1\n0\n1\n"
+    (eval_output
+       "(print (null? nil)) (print (null? (cons 1 2))) (print (pair? (cons 1 2))) (print (pair? 3)) (print (eq? 4 4))")
+
+let test_type_errors () =
+  List.iter
+    (fun src ->
+      checkb src true
+        (try
+           ignore (eval_output src);
+           false
+         with Interp.Runtime_error _ -> true))
+    [ "(car 5)"; "(+ nil 1)"; "((lambda (x) x))" (* arity *); "(1 2)" (* not a closure *) ]
+
+let test_globals_inspectable () =
+  let it = Interp.create (gc_of "appel") in
+  Interp.run_string it "(define x 42)";
+  (match Interp.global it "x" with
+  | Some v -> checki "global x" 42 (Value.to_int v)
+  | None -> Alcotest.fail "x not defined");
+  checkb "undefined" true (Interp.global it "y" = None)
+
+let test_state_persists_across_runs () =
+  let it = Interp.create (gc_of "appel") in
+  Interp.run_string it "(define (f x) (* x 2))";
+  Interp.run_string it "(print (f 21))";
+  checks "second run sees first" "42\n" (Interp.output it)
+
+let test_interp_oom () =
+  let it = Interp.create (gc_of ~heap_kb:32 "appel") in
+  checkb "heap exhausted" true
+    (try
+       Interp.run_string it
+         "(define (grow l n) (if (= n 0) l (grow (cons n l) (- n 1)))) (print (grow nil 100000))";
+       false
+     with Gc.Out_of_memory _ -> true)
+
+(* ---- programs under many collectors ---- *)
+
+let program_configs = [ "ss"; "appel"; "fixed:25"; "ofm:25"; "of:25"; "25.25"; "25.25.100"; "10.10.100" ]
+
+let test_program (p : Programs.t) () =
+  let outputs =
+    List.map
+      (fun cs ->
+        let gc = gc_of ~heap_kb:1024 cs in
+        let it = Interp.create gc in
+        Interp.run_string it p.Programs.source;
+        (match Beltway.Verify.check gc with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s under %s: integrity: %s" p.Programs.name cs e);
+        Interp.output it)
+      program_configs
+  in
+  let reference = List.hd outputs in
+  List.iteri
+    (fun i o ->
+      checks
+        (Printf.sprintf "%s output equal under %s" p.Programs.name
+           (List.nth program_configs i))
+        reference o)
+    outputs;
+  match p.Programs.expected_output with
+  | Some e -> checks (p.Programs.name ^ " expected output") e reference
+  | None -> ()
+
+let suite =
+  [
+    ("sexp atoms", `Quick, test_sexp_atoms);
+    ("sexp nesting", `Quick, test_sexp_nesting);
+    ("sexp quote/comment", `Quick, test_sexp_quote_comment);
+    ("sexp errors", `Quick, test_sexp_errors);
+    ("compile unbound", `Quick, test_compile_unbound);
+    ("compile arity", `Quick, test_compile_arity);
+    ("compile scoping", `Quick, test_compile_scoping);
+    ("compile forward reference", `Quick, test_compile_forward_reference);
+    ("arith", `Quick, test_arith);
+    ("comparisons", `Quick, test_comparisons);
+    ("division by zero", `Quick, test_division_by_zero);
+    ("closures capture", `Quick, test_closures_capture);
+    ("closure shared state", `Quick, test_closure_shared_state);
+    ("recursion", `Quick, test_recursion);
+    ("lists", `Quick, test_lists);
+    ("list mutation", `Quick, test_list_mutation);
+    ("quote", `Quick, test_quote);
+    ("vectors", `Quick, test_vectors);
+    ("vector bounds", `Quick, test_vector_bounds);
+    ("while/set!", `Quick, test_while_set);
+    ("and/or", `Quick, test_and_or);
+    ("predicates", `Quick, test_predicates);
+    ("type errors", `Quick, test_type_errors);
+    ("globals inspectable", `Quick, test_globals_inspectable);
+    ("state persists across runs", `Quick, test_state_persists_across_runs);
+    ("interpreter OOM", `Quick, test_interp_oom);
+  ]
+  @ List.map
+      (fun p -> ("program " ^ p.Programs.name, `Slow, test_program p))
+      Programs.all

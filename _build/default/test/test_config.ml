@@ -1,0 +1,170 @@
+(* Tests for the configuration surface: named collectors, the
+   command-line parser, validation and bound resolution. *)
+
+module Config = Beltway.Config
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let parse_ok s =
+  match Config.parse s with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let parse_err s =
+  match Config.parse s with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  | Error e -> e
+
+let test_named_shapes () =
+  checki "ss: one belt" 1 (Array.length Config.semi_space.Config.belts);
+  checki "appel: two belts" 2 (Array.length Config.appel.Config.belts);
+  checki "appel3: three belts" 3 (Array.length Config.appel3.Config.belts);
+  checkb "appel reserves half" true (Config.appel.Config.reserve = Config.Half);
+  checkb "BA2 dynamic" true (Config.beltway_appel.Config.reserve = Config.Dynamic);
+  checkb "ss is FIFO" true (Config.semi_space.Config.order = Config.Global_fifo);
+  checkb "bof flips" true ((Config.bof ~pct:25).Config.flip);
+  checkb "bofm single belt" true (Array.length (Config.bofm ~pct:25).Config.belts = 1)
+
+let test_parse_named () =
+  List.iter
+    (fun (s, expect_belts) ->
+      let c = parse_ok s in
+      checki (s ^ " belts") expect_belts (Array.length c.Config.belts))
+    [
+      ("ss", 1); ("bss", 1); ("appel", 2); ("ba2", 2); ("appel3", 3);
+      ("fixed:25", 2); ("ofm:20", 1); ("bofm:20", 1); ("of:20", 2); ("bof:20", 2);
+      ("25.25", 2); ("100.100", 2); ("25.25.100", 3); ("10.10.100", 3); ("40.20", 2);
+      ("40.20.100", 3);
+    ]
+
+let test_parse_case_insensitive () =
+  checki "APPEL" 2 (Array.length (parse_ok "APPEL").Config.belts)
+
+let test_parse_rejects () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [ ""; "nope"; "fixed:"; "fixed:0"; "fixed:101"; "0.25"; "25.0"; "25.25.50";
+      "25"; "25.25.100.100"; "of:x"; "25.25+bogus"; "25.25+ttd" ]
+
+let test_parse_options () =
+  let c = parse_ok "25.25.100+nofilter" in
+  checkb "nofilter" false c.Config.nursery_filter;
+  let c = parse_ok "25.25+remtrig:5000" in
+  Alcotest.(check (option int)) "remtrig" (Some 5000) c.Config.remset_trigger;
+  let c = parse_ok "appel+ttd:16" in
+  Alcotest.(check (option int)) "ttd" (Some 16) c.Config.ttd_frames;
+  checkb "ttd disables filter" false c.Config.nursery_filter;
+  let c = parse_ok "25.25+halfreserve" in
+  checkb "halfreserve" true (c.Config.reserve = Config.Half);
+  let c = parse_ok "25.25+minuseful:5" in
+  checki "minuseful" 5 c.Config.min_useful_frames
+
+let test_validation_rules () =
+  (* the nursery filter is only sound under belt-major stamping *)
+  let bad = { (Config.bofm ~pct:25) with Config.nursery_filter = true } in
+  checkb "filter under FIFO rejected" true (Result.is_error (Config.validate bad));
+  let bad = { Config.appel with Config.min_useful_frames = 0 } in
+  checkb "min_useful >= 1" true (Result.is_error (Config.validate bad));
+  let bad = { Config.semi_space with Config.flip = true } in
+  checkb "flip needs two belts" true (Result.is_error (Config.validate bad));
+  checkb "named configs validate" true
+    (List.for_all
+       (fun c -> Result.is_ok (Config.validate c))
+       [
+         Config.semi_space; Config.appel; Config.appel3; Config.beltway_appel;
+         Config.fixed_nursery ~pct:25; Config.bofm ~pct:25; Config.bof ~pct:25;
+         Config.beltway_xx ~x:25; Config.beltway_xx100 ~x:25;
+       ])
+
+let test_label_roundtrip () =
+  List.iter
+    (fun s ->
+      let c = parse_ok s in
+      Alcotest.(check string) ("label of " ^ s) s (Config.to_string c))
+    [ "ss"; "appel"; "25.25"; "25.25.100"; "25.25+remtrig:5000" ]
+
+let test_resolve_bound () =
+  let c = parse_ok "25.25" in
+  Alcotest.(check (option int))
+    "whole heap unbounded" None
+    (Config.resolve_bound c ~heap_frames:100 Config.Whole_heap);
+  (* dynamic reserve: x% of usable = heap * x / (100 + x) *)
+  Alcotest.(check (option int))
+    "pct under dynamic" (Some 20)
+    (Config.resolve_bound c ~heap_frames:100 (Config.Pct 25));
+  let h = parse_ok "fixed:25" in
+  (* half reserve: x% of half the heap *)
+  Alcotest.(check (option int))
+    "pct under half" (Some 12)
+    (Config.resolve_bound h ~heap_frames:100 (Config.Pct 25));
+  Alcotest.(check (option int))
+    "never zero" (Some 1)
+    (Config.resolve_bound c ~heap_frames:4 (Config.Pct 1))
+
+let test_x100_equals_appel_when_100 () =
+  (* Beltway 100.100 must be the Appel shape with a dynamic reserve. *)
+  let c = parse_ok "100.100" in
+  checkb "nursery unbounded" true (c.Config.belts.(0).Config.bound = Config.Whole_heap);
+  checkb "promotes next" true (c.Config.belts.(0).Config.promote = Config.Next_belt);
+  checkb "top same-belt" true (c.Config.belts.(1).Config.promote = Config.Same_belt)
+
+let suite =
+  [
+    ("named shapes", `Quick, test_named_shapes);
+    ("parse named", `Quick, test_parse_named);
+    ("parse case-insensitive", `Quick, test_parse_case_insensitive);
+    ("parse rejects", `Quick, test_parse_rejects);
+    ("parse options", `Quick, test_parse_options);
+    ("validation rules", `Quick, test_validation_rules);
+    ("label roundtrip", `Quick, test_label_roundtrip);
+    ("resolve bound", `Quick, test_resolve_bound);
+    ("100.100 is Appel-shaped", `Quick, test_x100_equals_appel_when_100);
+  ]
+
+(* Random configuration strings must never crash the parser, and every
+   accepted configuration must pass validation and drive a real heap. *)
+let config_fuzz_prop =
+  QCheck.Test.make ~name:"config parser total on random strings" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 20) QCheck.Gen.printable)
+    (fun s ->
+      match Config.parse s with
+      | Ok c -> Result.is_ok (Config.validate c)
+      | Error _ -> true)
+
+let accepted_configs_run_prop =
+  (* generate structured random configs and check they run a tiny trace *)
+  let gen =
+    QCheck.Gen.(
+      let* x = int_range 1 100 in
+      let* y = int_range 1 100 in
+      let* suffix = oneofl [ ""; "+nofilter"; "+cards"; "+los:16"; "+halfreserve"; "+remtrig:500" ] in
+      let* shape = oneofl [ `XY; `XY100; `Named ] in
+      match shape with
+      | `XY -> return (Printf.sprintf "%d.%d%s" x y suffix)
+      | `XY100 -> return (Printf.sprintf "%d.%d.100%s" x y suffix)
+      | `Named ->
+        let* base = oneofl [ "ss"; "appel"; "appel3"; "ofm:30"; "of:30"; "fixed:30" ] in
+        return (base ^ suffix))
+  in
+  QCheck.Test.make ~name:"every accepted config drives a heap soundly" ~count:60
+    (QCheck.make gen)
+    (fun s ->
+      match Config.parse s with
+      | Error _ -> true
+      | Ok config ->
+        let gc =
+          Beltway.Gc.create ~frame_log_words:8 ~config ~heap_bytes:(128 * 1024) ()
+        in
+        let tr = Beltway_workload.Trace.random ~seed:7 ~nroots:6 ~len:600 in
+        (try
+           Beltway_workload.Trace.execute gc tr;
+           Result.is_ok (Beltway.Verify.check gc)
+         with Beltway.Gc.Out_of_memory _ -> true))
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest config_fuzz_prop;
+      QCheck_alcotest.to_alcotest accepted_configs_run_prop;
+    ]

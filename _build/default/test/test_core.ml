@@ -1,0 +1,293 @@
+(* White-box tests for the collector's building blocks: increments,
+   belts, remembered sets, frame metadata, the write-barrier predicate
+   and the copy reserve. *)
+
+module Increment = Beltway.Increment
+module Belt = Beltway.Belt
+module Remset = Beltway.Remset
+module Frame_info = Beltway.Frame_info
+module State = Beltway.State
+module Config = Beltway.Config
+module Gc = Beltway.Gc
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---- Increment ---- *)
+
+let mem () = Memory.create ~frame_log_words:6 ~max_frames:64 (* 64-word frames *)
+
+let inc ?(bound = None) () =
+  Increment.create ~id:1 ~belt:0 ~stamp:7 ~bound_frames:bound
+
+let test_increment_bump () =
+  let m = mem () in
+  let i = inc () in
+  checkb "no room before a frame" true (Increment.try_bump i ~size:4 = None);
+  Increment.add_frame i m (Memory.alloc_frame m);
+  let a = Option.get (Increment.try_bump i ~size:10) in
+  let b = Option.get (Increment.try_bump i ~size:10) in
+  checki "bump is contiguous" (a + 10) b;
+  checki "words used" 20 (Increment.words_used i);
+  checki "objects" 2 i.Increment.objects
+
+let test_increment_frame_overflow () =
+  let m = mem () in
+  let i = inc () in
+  Increment.add_frame i m (Memory.alloc_frame m);
+  (* fill the 64-word frame with 60 words; a 10-word bump must fail *)
+  ignore (Increment.try_bump i ~size:60);
+  checkb "doesn't fit" true (Increment.try_bump i ~size:10 = None);
+  Increment.add_frame i m (Memory.alloc_frame m);
+  checkb "fits in new frame" true (Increment.try_bump i ~size:10 <> None);
+  checki "two frames" 2 (Increment.frame_count i);
+  (* 4 words wasted at the first frame's seam *)
+  checki "waste" (128 - 70) (Increment.wasted_words i m)
+
+let test_increment_bound_seal () =
+  let m = mem () in
+  let i = inc ~bound:(Some 1) () in
+  Increment.add_frame i m (Memory.alloc_frame m);
+  checkb "at bound" true (Increment.at_bound i);
+  Alcotest.check_raises "add beyond bound" (Invalid_argument "Increment.add_frame: at bound")
+    (fun () -> Increment.add_frame i m (Memory.alloc_frame m));
+  Increment.seal i;
+  checkb "sealed rejects bump" true (Increment.try_bump i ~size:2 = None)
+
+(* Write objects through the real object model so scan can size them. *)
+let put_obj m i nfields =
+  let size = Object_model.size_words ~nfields in
+  match Increment.try_bump i ~size with
+  | Some a ->
+    Object_model.init m a ~tib:Value.null ~nfields;
+    Some a
+  | None -> None
+
+let test_increment_scan_over_seams () =
+  let m = mem () in
+  let i = inc () in
+  let expected = ref [] in
+  let rng = Beltway_util.Prng.create ~seed:99 in
+  (* allocate ~5 frames of objects with random sizes, crossing seams *)
+  for _ = 1 to 60 do
+    let nfields = Beltway_util.Prng.int_in rng 0 20 in
+    match put_obj m i nfields with
+    | Some a -> expected := a :: !expected
+    | None ->
+      Increment.add_frame i m (Memory.alloc_frame m);
+      let a = Option.get (put_obj m i nfields) in
+      expected := a :: !expected
+  done;
+  let scanned = ref [] in
+  Increment.iter_objects i m (fun a -> scanned := a :: !scanned);
+  Alcotest.(check (list int)) "scan visits every object in order" (List.rev !expected)
+    (List.rev !scanned)
+
+let test_increment_scan_pos_frontier () =
+  let m = mem () in
+  let i = inc () in
+  Increment.add_frame i m (Memory.alloc_frame m);
+  ignore (put_obj m i 3);
+  let pos = Increment.scan_pos i in
+  checkb "frontier has nothing pending" false (Increment.scan_pending i m pos);
+  let a = Option.get (put_obj m i 2) in
+  checkb "new object pending" true (Increment.scan_pending i m pos);
+  checki "scan_step returns it" a (Increment.scan_step i m pos);
+  checkb "caught up" false (Increment.scan_pending i m pos)
+
+(* ---- Belt ---- *)
+
+let mk_inc id stamp = Increment.create ~id ~belt:0 ~stamp ~bound_frames:None
+
+let test_belt_fifo () =
+  let b = Belt.create ~index:0 in
+  checkb "empty" true (Belt.is_empty b);
+  let i1 = mk_inc 1 10 and i2 = mk_inc 2 20 and i3 = mk_inc 3 30 in
+  Belt.push_back b i1;
+  Belt.push_back b i2;
+  Belt.push_back b i3;
+  checki "length" 3 (Belt.length b);
+  checki "front oldest" 1 (Option.get (Belt.front b)).Increment.id;
+  checki "back youngest" 3 (Option.get (Belt.back b)).Increment.id;
+  Belt.remove b i2;
+  checki "middle removal keeps order (front)" 1 (Option.get (Belt.front b)).Increment.id;
+  checki "middle removal keeps order (back)" 3 (Option.get (Belt.back b)).Increment.id;
+  Alcotest.check_raises "removing absent" (Invalid_argument "Belt.remove: increment not on belt")
+    (fun () -> Belt.remove b i2)
+
+let test_belt_swap () =
+  let a = Belt.create ~index:0 and c = Belt.create ~index:1 in
+  let i1 = mk_inc 1 10 in
+  Belt.push_back a i1;
+  Belt.swap_contents a c;
+  checkb "a empty after swap" true (Belt.is_empty a);
+  checki "c has the increment" 1 (Option.get (Belt.front c)).Increment.id;
+  checki "increment belt index rewritten" 1 i1.Increment.belt
+
+(* ---- Remset ---- *)
+
+let test_remset_insert_iter () =
+  let r = Remset.create () in
+  Remset.insert r ~src_frame:5 ~tgt_frame:2 ~slot:100;
+  Remset.insert r ~src_frame:5 ~tgt_frame:2 ~slot:104;
+  Remset.insert r ~src_frame:6 ~tgt_frame:3 ~slot:200;
+  checki "entries" 3 (Remset.total_entries r);
+  checki "sets" 2 (Remset.sets r);
+  let hits = ref [] in
+  Remset.iter_into r ~in_plan:(fun f -> f = 2) (fun ~slot -> hits := slot :: !hits);
+  Alcotest.(check (list int)) "only target-2 slots" [ 100; 104 ] (List.sort compare !hits);
+  (* a source inside the plan is skipped: the scan finds those *)
+  let hits = ref [] in
+  Remset.iter_into r ~in_plan:(fun f -> f = 2 || f = 5) (fun ~slot -> hits := slot :: !hits);
+  Alcotest.(check (list int)) "in-plan sources skipped" [] !hits
+
+let test_remset_drop_frame () =
+  let r = Remset.create () in
+  Remset.insert r ~src_frame:5 ~tgt_frame:2 ~slot:100;
+  Remset.insert r ~src_frame:2 ~tgt_frame:1 ~slot:50;
+  Remset.insert r ~src_frame:7 ~tgt_frame:6 ~slot:70;
+  Remset.drop_frame r 2;
+  checki "sets touching frame 2 gone" 1 (Remset.total_entries r);
+  checkb "unrelated survives" true
+    (Remset.mem_slot r ~src_frame:7 ~tgt_frame:6 ~slot:70)
+
+let test_remset_dedup () =
+  let r = Remset.create ~dedup_threshold:8 () in
+  for _ = 1 to 100 do
+    Remset.insert r ~src_frame:1 ~tgt_frame:0 ~slot:42
+  done;
+  checkb "duplicates compacted" true (Remset.total_entries r < 20);
+  checki "inserts counted raw" 100 (Remset.inserts r);
+  checkb "slot retained" true (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:42)
+
+(* ---- Frame_info ---- *)
+
+let test_frame_info () =
+  let fi = Frame_info.create () in
+  checki "unset stamp" Frame_info.no_stamp (Frame_info.stamp fi 12);
+  Frame_info.set fi ~frame:12 ~stamp:99 ~incr:4;
+  checki "stamp" 99 (Frame_info.stamp fi 12);
+  checki "incr" 4 (Frame_info.incr_of fi 12);
+  Frame_info.restamp fi ~frame:12 ~stamp:100;
+  checki "restamped" 100 (Frame_info.stamp fi 12);
+  Frame_info.clear fi ~frame:12;
+  checki "cleared" Frame_info.no_stamp (Frame_info.stamp fi 12);
+  (* growth beyond initial capacity *)
+  Frame_info.set fi ~frame:5000 ~stamp:1 ~incr:1;
+  checki "grown" 1 (Frame_info.stamp fi 5000)
+
+(* ---- Write barrier predicate & stamps ---- *)
+
+let gc_of config_str heap_kb =
+  let config = Result.get_ok (Config.parse config_str) in
+  Gc.create ~frame_log_words:8 ~config ~heap_bytes:(heap_kb * 1024) ()
+
+let test_barrier_unidirectional () =
+  let gc = gc_of "25.25.100" 256 in
+  let st = Gc.state gc in
+  (* fabricate two frames with ordered stamps *)
+  let fi = st.State.finfo in
+  Frame_info.set fi ~frame:40 ~stamp:100 ~incr:0;
+  Frame_info.set fi ~frame:41 ~stamp:200 ~incr:1;
+  checkb "young->old remembered (old collected later? no)" false
+    (Beltway.Write_barrier.would_remember st ~src_frame:40 ~tgt_frame:41);
+  checkb "old->young remembered" true
+    (Beltway.Write_barrier.would_remember st ~src_frame:41 ~tgt_frame:40);
+  checkb "intra-frame never" false
+    (Beltway.Write_barrier.would_remember st ~src_frame:40 ~tgt_frame:40)
+
+let test_barrier_counters_and_boot_target () =
+  let gc = gc_of "appel+nofilter" 256 in
+  let ty = Gc.register_type gc ~name:"t" in
+  let a = Gc.alloc gc ~ty ~nfields:2 in
+  (* the tib write took the barrier: boot targets are never remembered *)
+  let stats = Gc.stats gc in
+  checki "tib write barrier fast" 1 stats.Beltway.Gc_stats.barrier_fast;
+  checki "no remembering" 0 stats.Beltway.Gc_stats.barrier_slow;
+  (* an intra-increment pointer store: fast path *)
+  Gc.write gc a 0 (Value.of_addr a);
+  checki "intra-frame fast" 2 stats.Beltway.Gc_stats.barrier_fast
+
+let test_nursery_filter_counts () =
+  let gc = gc_of "25.25.100" 256 in
+  let ty = Gc.register_type gc ~name:"t" in
+  ignore (Gc.alloc gc ~ty ~nfields:2);
+  let stats = Gc.stats gc in
+  checki "filtered, not fast" 1 stats.Beltway.Gc_stats.barrier_filtered;
+  checki "no fast path" 0 stats.Beltway.Gc_stats.barrier_fast
+
+let test_stamps_belt_major_vs_fifo () =
+  let gc = gc_of "25.25.100" 256 in
+  let st = Gc.state gc in
+  let s0 = State.stamp_for_belt st 0 in
+  let s1 = State.stamp_for_belt st 1 in
+  let s0' = State.stamp_for_belt st 0 in
+  checkb "belt-major: belt0 < belt1 regardless of creation order" true
+    (s0 < s1 && s0' < s1);
+  let gc = gc_of "ofm:25" 256 in
+  let st = Gc.state gc in
+  let a = State.stamp_for_belt st 0 in
+  let b = State.stamp_for_belt st 0 in
+  checkb "fifo: creation order" true (a < b)
+
+let test_bof_flip_epoch () =
+  let gc = gc_of "of:25" 256 in
+  let st = Gc.state gc in
+  let before = State.stamp_for_belt st 0 in
+  State.flip_belts st;
+  let after = State.stamp_for_belt st 0 in
+  checkb "flip advances the epoch band" true
+    (after / Frame_info.priority_unit > before / Frame_info.priority_unit)
+
+(* ---- Copy reserve ---- *)
+
+let test_reserve_semi_space_half () =
+  let gc = gc_of "ss" 256 in
+  let ty = Gc.register_type gc ~name:"t" in
+  (* fill ~40% of the heap; reserve must track occupancy + pad *)
+  let heap = Gc.heap_frames gc in
+  while Gc.frames_used gc < 2 * heap / 5 do
+    ignore (Gc.alloc gc ~ty ~nfields:20)
+  done;
+  let r = Gc.reserve_frames gc in
+  checkb "reserve ~ occupancy" true
+    (r >= Gc.frames_used gc && r <= Gc.frames_used gc + 8)
+
+let test_reserve_half_mode () =
+  let gc = gc_of "appel" 256 in
+  let r = Gc.reserve_frames gc in
+  checkb "fixed >= half" true (r >= Gc.heap_frames gc / 2)
+
+let test_reserve_small_when_increments_small () =
+  let gc = gc_of "25.25.100" 1024 in
+  let ty = Gc.register_type gc ~name:"t" in
+  for _ = 1 to 2000 do
+    ignore (Gc.alloc gc ~ty ~nfields:6)
+  done;
+  (* with bounded increments the reserve stays near one increment, far
+     below half the heap (the paper's utilization advantage) *)
+  checkb "reserve well below half" true
+    (Gc.reserve_frames gc < Gc.heap_frames gc / 3)
+
+let suite =
+  [
+    ("increment bump", `Quick, test_increment_bump);
+    ("increment frame overflow", `Quick, test_increment_frame_overflow);
+    ("increment bound/seal", `Quick, test_increment_bound_seal);
+    ("increment scan over seams", `Quick, test_increment_scan_over_seams);
+    ("increment scan frontier", `Quick, test_increment_scan_pos_frontier);
+    ("belt fifo", `Quick, test_belt_fifo);
+    ("belt swap (BOF flip)", `Quick, test_belt_swap);
+    ("remset insert/iter", `Quick, test_remset_insert_iter);
+    ("remset drop frame", `Quick, test_remset_drop_frame);
+    ("remset dedup", `Quick, test_remset_dedup);
+    ("frame info", `Quick, test_frame_info);
+    ("barrier unidirectional", `Quick, test_barrier_unidirectional);
+    ("barrier counters/boot", `Quick, test_barrier_counters_and_boot_target);
+    ("nursery filter counts", `Quick, test_nursery_filter_counts);
+    ("stamps belt-major vs fifo", `Quick, test_stamps_belt_major_vs_fifo);
+    ("bof flip epoch", `Quick, test_bof_flip_epoch);
+    ("reserve: semi-space", `Quick, test_reserve_semi_space_half);
+    ("reserve: half mode", `Quick, test_reserve_half_mode);
+    ("reserve: small increments", `Quick, test_reserve_small_when_increments_small);
+  ]

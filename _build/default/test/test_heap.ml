@@ -1,0 +1,239 @@
+(* Tests for beltway.heap: addresses, memory/frames, tagged values,
+   the object model, boot space, type registry and roots. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---- Addr ---- *)
+
+let test_addr_packing () =
+  let fl = 10 in
+  let a = Addr.make ~frame_log:fl ~frame:3 ~offset:17 in
+  checki "frame" 3 (Addr.frame_of ~frame_log:fl a);
+  checki "offset" 17 (Addr.offset_of ~frame_log:fl a);
+  checkb "same frame" true (Addr.same_frame ~frame_log:fl a (a + 100));
+  checkb "different frame" false
+    (Addr.same_frame ~frame_log:fl a (Addr.make ~frame_log:fl ~frame:4 ~offset:17))
+
+let addr_roundtrip_prop =
+  QCheck.Test.make ~name:"Addr pack/unpack roundtrip" ~count:500
+    QCheck.(pair (int_range 1 100000) (int_range 0 1023))
+    (fun (frame, offset) ->
+      let a = Addr.make ~frame_log:10 ~frame ~offset in
+      Addr.frame_of ~frame_log:10 a = frame && Addr.offset_of ~frame_log:10 a = offset)
+
+(* ---- Memory ---- *)
+
+let mem () = Memory.create ~frame_log_words:8 ~max_frames:8
+
+let test_memory_geometry () =
+  let m = mem () in
+  checki "frame words" 256 (Memory.frame_words m);
+  checki "frame bytes" 1024 (Memory.frame_bytes m);
+  checki "no frames live" 0 (Memory.live_frames m)
+
+let test_memory_alloc_free () =
+  let m = mem () in
+  let f1 = Memory.alloc_frame m in
+  checkb "frame index >= 1 (0 reserved for null)" true (f1 >= 1);
+  checkb "live" true (Memory.is_live m f1);
+  let a = Memory.frame_base m f1 in
+  Memory.set m a 42;
+  checki "read back" 42 (Memory.get m a);
+  Memory.free_frame m f1;
+  checkb "dead" false (Memory.is_live m f1);
+  checki "none live" 0 (Memory.live_frames m)
+
+let test_memory_zeroed_on_reuse () =
+  let m = mem () in
+  let f1 = Memory.alloc_frame m in
+  Memory.set m (Memory.frame_base m f1) 7;
+  Memory.free_frame m f1;
+  let f2 = Memory.alloc_frame m in
+  checki "recycled index" f1 f2;
+  checki "zeroed" 0 (Memory.get m (Memory.frame_base m f2))
+
+let test_memory_budget () =
+  let m = mem () in
+  for _ = 1 to 8 do
+    ignore (Memory.alloc_frame m)
+  done;
+  Alcotest.check_raises "out of frames" Memory.Out_of_frames (fun () ->
+      ignore (Memory.alloc_frame m))
+
+let test_memory_wild_access () =
+  let m = mem () in
+  Alcotest.check_raises "null get" (Invalid_argument "Memory.get: null address")
+    (fun () -> ignore (Memory.get m Addr.null));
+  let f = Memory.alloc_frame m in
+  Memory.free_frame m f;
+  let a = Memory.frame_base m f in
+  checkb "use-after-free rejected" true
+    (try
+       ignore (Memory.get m a);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.check_raises "double free"
+    (Invalid_argument (Printf.sprintf "Memory.free_frame: frame %d not live" f))
+    (fun () -> Memory.free_frame m f)
+
+(* ---- Value ---- *)
+
+let test_value_tags () =
+  checkb "null is null" true (Value.is_null Value.null);
+  let i = Value.of_int 42 in
+  checkb "int tag" true (Value.is_int i);
+  checkb "int not ref" false (Value.is_ref i);
+  checki "int roundtrip" 42 (Value.to_int i);
+  checki "negative roundtrip" (-17) (Value.to_int (Value.of_int (-17)));
+  let r = Value.of_addr 1024 in
+  checkb "ref tag" true (Value.is_ref r);
+  checki "addr roundtrip" 1024 (Value.to_addr r)
+
+let test_value_errors () =
+  Alcotest.check_raises "to_int of ref" (Invalid_argument "Value.to_int: not an immediate")
+    (fun () -> ignore (Value.to_int (Value.of_addr 8)));
+  Alcotest.check_raises "to_addr of int"
+    (Invalid_argument "Value.to_addr: not a reference") (fun () ->
+      ignore (Value.to_addr (Value.of_int 3)));
+  Alcotest.check_raises "of_addr null" (Invalid_argument "Value.of_addr: null address")
+    (fun () -> ignore (Value.of_addr Addr.null))
+
+let value_int_roundtrip_prop =
+  QCheck.Test.make ~name:"Value int roundtrip" ~count:500
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun n ->
+      let v = Value.of_int n in
+      Value.is_int v && (not (Value.is_ref v)) && Value.to_int v = n)
+
+(* ---- Object_model ---- *)
+
+let test_object_layout () =
+  let m = mem () in
+  let f = Memory.alloc_frame m in
+  let a = Memory.frame_base m f in
+  Object_model.init m a ~tib:Value.null ~nfields:3;
+  checki "nfields" 3 (Object_model.nfields m a);
+  checki "size" 5 (Object_model.size_of m a);
+  checkb "fields start null" true (Value.is_null (Object_model.get_field m a 0));
+  Object_model.set_field m a 1 (Value.of_int 9);
+  checki "field write" 9 (Value.to_int (Object_model.get_field m a 1));
+  Alcotest.check_raises "field oob"
+    (Invalid_argument
+       (Printf.sprintf "Object_model: field 3 out of bounds [0,3) at %#x" a))
+    (fun () -> ignore (Object_model.get_field m a 3))
+
+let test_object_forwarding () =
+  let m = mem () in
+  let f = Memory.alloc_frame m in
+  let a = Memory.frame_base m f in
+  Object_model.init m a ~tib:Value.null ~nfields:2;
+  checkb "not forwarded" true (Object_model.forwarded m a = None);
+  Object_model.set_forwarding m a 4096;
+  Alcotest.(check (option int)) "forwarded" (Some 4096) (Object_model.forwarded m a);
+  checkb "nfields of forwarded rejected" true
+    (try
+       ignore (Object_model.nfields m a);
+       false
+     with Invalid_argument _ -> true)
+
+let test_object_ref_slots () =
+  let m = mem () in
+  let f = Memory.alloc_frame m in
+  let a = Memory.frame_base m f in
+  Object_model.init m a ~tib:(Value.of_addr 512) ~nfields:3;
+  Object_model.set_field m a 0 (Value.of_int 1);
+  Object_model.set_field m a 1 (Value.of_addr 768);
+  let slots = ref [] in
+  Object_model.iter_ref_slots m a (fun s -> slots := s :: !slots);
+  Alcotest.(check (list int)) "ref slots: tib and field 1"
+    [ Object_model.tib_addr a; Object_model.field_addr a 1 ]
+    (List.rev !slots)
+
+(* ---- Boot_space / Type_registry ---- *)
+
+let test_boot_space () =
+  let m = Memory.create ~frame_log_words:8 ~max_frames:16 in
+  let boot = Boot_space.create m in
+  let a = Boot_space.alloc boot ~tib:Value.null ~nfields:4 in
+  checkb "contains" true (Boot_space.contains boot a);
+  checkb "not elsewhere" false (Boot_space.contains boot (a + 100000));
+  checki "one frame" 1 (Boot_space.mem_frames boot);
+  (* overflow into a second frame *)
+  for _ = 1 to 60 do
+    ignore (Boot_space.alloc boot ~tib:Value.null ~nfields:4)
+  done;
+  checkb "grew" true (Boot_space.mem_frames boot >= 2);
+  checki "words used" (61 * 6) (Boot_space.words_used boot)
+
+let test_type_registry () =
+  let m = Memory.create ~frame_log_words:8 ~max_frames:16 in
+  let boot = Boot_space.create m in
+  let reg = Type_registry.create m boot in
+  let t1 = Type_registry.register reg ~name:"cons" in
+  let t2 = Type_registry.register reg ~name:"vector" in
+  checkb "distinct ids" true (t1 <> t2);
+  checki "idempotent" t1 (Type_registry.register reg ~name:"cons");
+  checki "count" 2 (Type_registry.count reg);
+  Alcotest.(check string) "name" "cons" (Type_registry.name reg t1);
+  let tib = Type_registry.tib_value reg t1 in
+  checkb "tib is a boot ref" true (Boot_space.contains boot (Value.to_addr tib));
+  Alcotest.(check (option int)) "id recoverable" (Some t1) (Type_registry.id_of_tib reg tib);
+  Alcotest.(check (option int)) "junk not a tib" None
+    (Type_registry.id_of_tib reg (Value.of_int 5))
+
+(* ---- Roots ---- *)
+
+let test_roots_globals () =
+  let r = Roots.create () in
+  let g = Roots.new_global r (Value.of_int 1) in
+  checki "initial" 1 (Value.to_int (Roots.get_global r g));
+  Roots.set_global r g (Value.of_int 2);
+  checki "updated" 2 (Value.to_int (Roots.get_global r g));
+  checki "count" 1 (Roots.global_count r)
+
+let test_roots_stack_discipline () =
+  let r = Roots.create () in
+  Roots.push r (Value.of_int 1);
+  let m = Roots.mark r in
+  Roots.push r (Value.of_int 2);
+  Roots.push r (Value.of_int 3);
+  checki "peek top" 3 (Value.to_int (Roots.peek r 0));
+  checki "peek below" 2 (Value.to_int (Roots.peek r 1));
+  Roots.set_peek r 0 (Value.of_int 30);
+  checki "set_peek" 30 (Value.to_int (Roots.pop r));
+  Roots.release r m;
+  checki "released to mark" 1 (Roots.depth r);
+  checki "stack_get absolute" 1 (Value.to_int (Roots.stack_get r 0))
+
+let test_roots_iter_update () =
+  let r = Roots.create () in
+  ignore (Roots.new_global r (Value.of_int 5));
+  Roots.push r (Value.of_int 7);
+  Roots.iter_update r (fun v ->
+      if Value.is_int v then Value.of_int (Value.to_int v + 1) else v);
+  let vals = ref [] in
+  Roots.iter r (fun v -> vals := Value.to_int v :: !vals);
+  Alcotest.(check (list int)) "all slots updated" [ 8; 6 ] !vals
+
+let suite =
+  [
+    ("addr packing", `Quick, test_addr_packing);
+    QCheck_alcotest.to_alcotest addr_roundtrip_prop;
+    ("memory geometry", `Quick, test_memory_geometry);
+    ("memory alloc/free", `Quick, test_memory_alloc_free);
+    ("memory zeroed on reuse", `Quick, test_memory_zeroed_on_reuse);
+    ("memory budget", `Quick, test_memory_budget);
+    ("memory wild access", `Quick, test_memory_wild_access);
+    ("value tags", `Quick, test_value_tags);
+    ("value errors", `Quick, test_value_errors);
+    QCheck_alcotest.to_alcotest value_int_roundtrip_prop;
+    ("object layout", `Quick, test_object_layout);
+    ("object forwarding", `Quick, test_object_forwarding);
+    ("object ref slots", `Quick, test_object_ref_slots);
+    ("boot space", `Quick, test_boot_space);
+    ("type registry", `Quick, test_type_registry);
+    ("roots globals", `Quick, test_roots_globals);
+    ("roots stack discipline", `Quick, test_roots_stack_discipline);
+    ("roots iter_update", `Quick, test_roots_iter_update);
+  ]

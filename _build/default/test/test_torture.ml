@@ -1,0 +1,62 @@
+(* Robustness: adversarial workloads under every configuration. Each
+   run must either complete or raise Out_of_memory; in both cases the
+   heap must remain structurally sound and, where the run completed,
+   everything it dropped must be reclaimable. *)
+
+module Gc = Beltway.Gc
+module Config = Beltway.Config
+module Torture = Beltway_workload.Torture
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let configs =
+  [
+    "ss"; "appel"; "appel3"; "fixed:25"; "ofm:25"; "of:25"; "25.25"; "25.25.100";
+    "10.10.100"; "appel+cards"; "25.25.100+los:128"; "25.25.100+cards";
+  ]
+
+let run_one (t : Torture.t) cs ~heap_kb =
+  let config = Result.get_ok (Config.parse cs) in
+  let gc = Gc.create ~frame_log_words:8 ~config ~heap_bytes:(heap_kb * 1024) () in
+  let completed =
+    try
+      t.Torture.run gc;
+      true
+    with Gc.Out_of_memory _ -> false
+  in
+  (* OOM can abort mid-collection, leaving forwarding pointers behind:
+     integrity is only checkable after completed runs. *)
+  if completed then begin
+    (match Beltway.Verify.check gc with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s under %s: integrity: %s" t.Torture.name cs e);
+    (* the scenario dropped all its roots: a full collection must
+       reclaim everything *)
+    (try Gc.full_collect gc with Gc.Out_of_memory _ -> ());
+    checki
+      (Printf.sprintf "%s under %s leaves no live data" t.Torture.name cs)
+      0
+      (Beltway.Oracle.live_words gc)
+  end;
+  completed
+
+let test_scenario (t : Torture.t) () =
+  (* generous heap: every configuration should complete *)
+  let completions = List.map (fun cs -> run_one t cs ~heap_kb:2048) configs in
+  checkb
+    (Printf.sprintf "%s completes under all configurations at 2MB" t.Torture.name)
+    true
+    (List.for_all Fun.id completions)
+
+let test_scenario_tight (t : Torture.t) () =
+  (* tight heap: completion is allowed to fail, soundness is not *)
+  List.iter (fun cs -> ignore (run_one t cs ~heap_kb:160)) configs
+
+let suite =
+  List.map
+    (fun t -> ("torture " ^ t.Torture.name, `Slow, test_scenario t))
+    Torture.all
+  @ List.map
+      (fun t -> ("torture (tight) " ^ t.Torture.name, `Quick, test_scenario_tight t))
+      Torture.all

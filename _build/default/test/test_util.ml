@@ -1,0 +1,298 @@
+(* Tests for beltway.util: PRNG, vectors, priority queue, statistics,
+   tables, histograms. *)
+
+module Prng = Beltway_util.Prng
+module Vec = Beltway_util.Vec
+module Pqueue = Beltway_util.Pqueue
+module SM = Beltway_util.Stats_math
+module Table = Beltway_util.Table
+module Histogram = Beltway_util.Histogram
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---- Prng ---- *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    checki "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Prng.next a <> Prng.next b then distinct := true
+  done;
+  checkb "different seeds differ" true !distinct
+
+let test_prng_bounds () =
+  let r = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 17 in
+    checkb "int in [0,17)" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in r 5 9 in
+    checkb "int_in inclusive" true (v >= 5 && v <= 9)
+  done
+
+let test_prng_int_invalid () =
+  let r = Prng.create ~seed:1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int r 0))
+
+let test_prng_copy_split () =
+  let a = Prng.create ~seed:9 in
+  ignore (Prng.next a);
+  let b = Prng.copy a in
+  checki "copy continues identically" (Prng.next a) (Prng.next b);
+  let c = Prng.split a in
+  checkb "split diverges" true (Prng.next a <> Prng.next c)
+
+let test_prng_chance () =
+  let r = Prng.create ~seed:3 in
+  checkb "p=0 never" false (Prng.chance r 0.0);
+  checkb "p=1 always" true (Prng.chance r 1.0);
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.chance r 0.3 then incr hits
+  done;
+  checkb "p=0.3 plausible" true (!hits > 2_500 && !hits < 3_500)
+
+let test_prng_exponential_mean () =
+  let r = Prng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential r ~mean:50.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "exponential mean ~50" true (mean > 45.0 && mean < 55.0)
+
+let test_prng_choose_shuffle () =
+  let r = Prng.create ~seed:5 in
+  let a = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    checkb "choose member" true (Array.exists (( = ) (Prng.choose r a)) a)
+  done;
+  let b = Array.init 100 Fun.id in
+  Prng.shuffle r b;
+  Array.sort compare b;
+  check Alcotest.(array int) "shuffle is a permutation" (Array.init 100 Fun.id) b;
+  Alcotest.check_raises "choose empty" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (Prng.choose r [||]))
+
+(* ---- Vec ---- *)
+
+let test_vec_basic () =
+  let v = Vec.create ~dummy:0 () in
+  checkb "fresh empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  checki "length" 100 (Vec.length v);
+  checki "get 57" 57 (Vec.get v 57);
+  Vec.set v 57 1000;
+  checki "set visible" 1000 (Vec.get v 57);
+  checki "top" 99 (Vec.top v);
+  checki "pop" 99 (Vec.pop v);
+  checki "length after pop" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index 3 out of bounds [0,3)")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "get negative"
+    (Invalid_argument "Vec.get: index -1 out of bounds [0,3)") (fun () ->
+      ignore (Vec.get v (-1)))
+
+let test_vec_clear_truncate () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5 ] in
+  Vec.truncate v 2;
+  check Alcotest.(list int) "truncate" [ 1; 2 ] (Vec.to_list v);
+  Vec.truncate v 10;
+  checki "truncate longer is no-op" 2 (Vec.length v);
+  Vec.clear v;
+  checkb "clear" true (Vec.is_empty v)
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list ~dummy:0 [ 10; 20; 30; 40 ] in
+  checki "removed" 20 (Vec.swap_remove v 1);
+  check Alcotest.(list int) "last moved in" [ 10; 40; 30 ] (Vec.to_list v);
+  checki "remove last" 30 (Vec.swap_remove v 2);
+  checki "len" 2 (Vec.length v)
+
+let test_vec_iterators () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  checki "fold sum" 6 (Vec.fold ( + ) 0 v);
+  checkb "exists" true (Vec.exists (( = ) 2) v);
+  checkb "not exists" false (Vec.exists (( = ) 9) v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check
+    Alcotest.(list (pair int int))
+    "iteri order"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (List.rev !acc);
+  check Alcotest.(array int) "to_array" [| 1; 2; 3 |] (Vec.to_array v)
+
+let vec_model_prop =
+  QCheck.Test.make ~name:"Vec behaves like a list under push/pop/set" ~count:200
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let v = Vec.create ~dummy:0 () in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, x) ->
+          if is_push then begin
+            Vec.push v x;
+            model := !model @ [ x ]
+          end
+          else if not (Vec.is_empty v) then begin
+            ignore (Vec.pop v);
+            model := List.filteri (fun i _ -> i < List.length !model - 1) !model
+          end)
+        ops;
+      Vec.to_list v = !model)
+
+(* ---- Pqueue ---- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create ~dummy:"" () in
+  List.iter (fun (p, v) -> Pqueue.add q ~prio:p v)
+    [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
+  let order = ref [] in
+  let rec drain () =
+    match Pqueue.pop_min q with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list string) "ascending" [ "a"; "b"; "c"; "d"; "e" ] (List.rev !order)
+
+let test_pqueue_pop_le () =
+  let q = Pqueue.create ~dummy:0 () in
+  List.iter (fun p -> Pqueue.add q ~prio:p p) [ 10; 20; 30 ];
+  check Alcotest.(option (pair int int)) "pop_le hit" (Some (10, 10)) (Pqueue.pop_le q 15);
+  check Alcotest.(option (pair int int)) "pop_le miss" None (Pqueue.pop_le q 15);
+  checki "two left" 2 (Pqueue.length q)
+
+let test_pqueue_min_prio_clear () =
+  let q = Pqueue.create ~dummy:0 () in
+  check Alcotest.(option int) "empty min" None (Pqueue.min_prio q);
+  Pqueue.add q ~prio:7 7;
+  check Alcotest.(option int) "min" (Some 7) (Pqueue.min_prio q);
+  Pqueue.clear q;
+  checkb "cleared" true (Pqueue.is_empty q)
+
+let pqueue_sort_prop =
+  QCheck.Test.make ~name:"Pqueue drains in sorted order" ~count:200
+    QCheck.(list small_nat)
+    (fun l ->
+      let q = Pqueue.create ~dummy:0 () in
+      List.iter (fun p -> Pqueue.add q ~prio:p p) l;
+      let rec drain acc =
+        match Pqueue.pop_min q with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare l)
+
+(* ---- Stats_math ---- *)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_stats_mean_geomean () =
+  checkf "mean" 2.0 (SM.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "mean empty" 0.0 (SM.mean []);
+  checkf "geomean" 4.0 (SM.geomean [ 2.0; 8.0 ]);
+  Alcotest.check_raises "geomean non-positive"
+    (Invalid_argument "Stats_math.geomean: non-positive value") (fun () ->
+      ignore (SM.geomean [ 1.0; 0.0 ]))
+
+let test_stats_normalize () =
+  check
+    Alcotest.(list (float 1e-9))
+    "normalize" [ 2.0; 1.0; 3.0 ]
+    (SM.normalize_to_best [ 4.0; 2.0; 6.0 ])
+
+let test_stats_percentile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  checkf "p0" 1.0 (SM.percentile a 0.0);
+  checkf "p50" 3.0 (SM.percentile a 50.0);
+  checkf "p100" 5.0 (SM.percentile a 100.0);
+  checkf "p25 interpolates" 2.0 (SM.percentile a 25.0)
+
+let test_stats_round () =
+  checkf "round_to" 3.14 (SM.round_to 2 3.14159)
+
+(* ---- Table ---- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  let s = Table.render t in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 4 = "== t");
+  checkb "has row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "| 1 | 2  |"))
+
+let test_table_arity () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: expected 2 cells, got 1")
+    (fun () -> Table.add_row t [ "x" ])
+
+let test_table_csv () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "x,y"; "z" ];
+  let lines = String.split_on_char '\n' (Table.to_csv t) in
+  check Alcotest.(list string) "csv" [ "#csv t"; "a,b"; "x;y,z"; "" ] lines
+
+(* ---- Histogram ---- *)
+
+let test_histogram () =
+  let h = Histogram.create ~bucket_width:10.0 () in
+  List.iter (Histogram.add h) [ 1.0; 5.0; 15.0; 99.0 ];
+  checki "count" 4 (Histogram.count h);
+  checkf "max" 99.0 (Histogram.max_value h);
+  checkf "mean" 30.0 (Histogram.mean h);
+  check
+    Alcotest.(list (pair (float 1e-9) int))
+    "buckets"
+    [ (0.0, 2); (10.0, 1); (90.0, 1) ]
+    (Histogram.buckets h);
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Histogram.create: width must be positive") (fun () ->
+      ignore (Histogram.create ~bucket_width:0.0 ()))
+
+let suite =
+  [
+    ("prng determinism", `Quick, test_prng_determinism);
+    ("prng seed sensitivity", `Quick, test_prng_seed_sensitivity);
+    ("prng bounds", `Quick, test_prng_bounds);
+    ("prng invalid bound", `Quick, test_prng_int_invalid);
+    ("prng copy/split", `Quick, test_prng_copy_split);
+    ("prng chance", `Quick, test_prng_chance);
+    ("prng exponential mean", `Quick, test_prng_exponential_mean);
+    ("prng choose/shuffle", `Quick, test_prng_choose_shuffle);
+    ("vec basic", `Quick, test_vec_basic);
+    ("vec bounds", `Quick, test_vec_bounds);
+    ("vec clear/truncate", `Quick, test_vec_clear_truncate);
+    ("vec swap_remove", `Quick, test_vec_swap_remove);
+    ("vec iterators", `Quick, test_vec_iterators);
+    QCheck_alcotest.to_alcotest vec_model_prop;
+    ("pqueue order", `Quick, test_pqueue_order);
+    ("pqueue pop_le", `Quick, test_pqueue_pop_le);
+    ("pqueue min/clear", `Quick, test_pqueue_min_prio_clear);
+    QCheck_alcotest.to_alcotest pqueue_sort_prop;
+    ("stats mean/geomean", `Quick, test_stats_mean_geomean);
+    ("stats normalize", `Quick, test_stats_normalize);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats round", `Quick, test_stats_round);
+    ("table render", `Quick, test_table_render);
+    ("table arity", `Quick, test_table_arity);
+    ("table csv", `Quick, test_table_csv);
+    ("histogram", `Quick, test_histogram);
+  ]

@@ -1,0 +1,188 @@
+(* Tests for the mutation engine, lifetime samplers and the six
+   SPEC-like benchmark drivers. *)
+
+module Mutator = Beltway_workload.Mutator
+module Lifetime = Beltway_workload.Lifetime
+module Spec = Beltway_workload.Spec
+module Gc = Beltway.Gc
+module Config = Beltway.Config
+module Prng = Beltway_util.Prng
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let gc_of ?(heap_kb = 2048) config_str =
+  let config = Result.get_ok (Config.parse config_str) in
+  Gc.create ~config ~heap_bytes:(heap_kb * 1024) ()
+
+let mut () = Mutator.create ~seed:1 (gc_of "appel")
+
+(* ---- Mutator engine ---- *)
+
+let test_handles () =
+  let m = mut () in
+  let gc = Mutator.gc m in
+  let ty = Gc.register_type gc ~name:"t" in
+  let h = Mutator.alloc m ~ty ~nfields:2 in
+  checkb "live" true (Mutator.is_live m h);
+  Mutator.set_int m h 0 99;
+  Gc.full_collect gc;
+  checki "survives via handle" 99
+    (Value.to_int (Beltway.Gc.read gc (Mutator.get m h) 0));
+  Mutator.drop m h;
+  checkb "dropped" false (Mutator.is_live m h);
+  checkb "get after drop raises" true
+    (try
+       ignore (Mutator.get m h);
+       false
+     with Invalid_argument _ -> true);
+  checkb "double drop is harmless" true
+    (Mutator.drop m h;
+     true)
+
+let test_handle_recycling () =
+  let m = mut () in
+  let gc = Mutator.gc m in
+  let ty = Gc.register_type gc ~name:"t" in
+  let h1 = Mutator.alloc m ~ty ~nfields:1 in
+  let before = Mutator.live_handles m in
+  Mutator.drop m h1;
+  let h2 = Mutator.alloc m ~ty ~nfields:1 in
+  checki "slot recycled, not grown" before (Mutator.live_handles m);
+  Mutator.drop m h2
+
+let test_death_schedule () =
+  let m = mut () in
+  let gc = Mutator.gc m in
+  let ty = Gc.register_type gc ~name:"t" in
+  let h = Mutator.alloc_dying m ~ty ~nfields:2 ~dies_in:100 in
+  Mutator.tick m;
+  checkb "alive before its time" true (Mutator.is_live m h);
+  (* advance the allocation clock past the death time *)
+  for _ = 1 to 40 do
+    Mutator.alloc_temp m ~ty ~nfields:2
+  done;
+  Mutator.tick m;
+  checkb "dead after 160 words" false (Mutator.is_live m h)
+
+let test_drain () =
+  let m = mut () in
+  let gc = Mutator.gc m in
+  let ty = Gc.register_type gc ~name:"t" in
+  let h = Mutator.alloc_dying m ~ty ~nfields:2 ~dies_in:1_000_000 in
+  Mutator.drain m;
+  checkb "drain drops scheduled handles" false (Mutator.is_live m h)
+
+let test_linking () =
+  let m = mut () in
+  let gc = Mutator.gc m in
+  let ty = Gc.register_type gc ~name:"t" in
+  let a = Mutator.alloc m ~ty ~nfields:2 in
+  let b = Mutator.alloc m ~ty ~nfields:2 in
+  Mutator.link m ~from:a ~field:0 ~to_:b;
+  (match Mutator.child m a 0 with
+  | Some c ->
+    checkb "child resolves to b's object" true (Mutator.get m c = Mutator.get m b);
+    Mutator.drop m c
+  | None -> Alcotest.fail "no child");
+  Mutator.unlink m ~from:a ~field:0;
+  checkb "unlinked" true (Mutator.child m a 0 = None);
+  Mutator.alloc_into m ~parent:a ~field:1 ~ty ~nfields:3;
+  checkb "alloc_into links" true (Mutator.child m a 1 <> None)
+
+(* ---- Lifetime samplers ---- *)
+
+let test_lifetime_positive () =
+  let rng = Prng.create ~seed:4 in
+  let samplers =
+    [
+      Lifetime.exponential ~mean:100;
+      Lifetime.uniform ~lo:1 ~hi:50;
+      Lifetime.pareto ~shape:1.5 ~scale:10 ~cap:10_000;
+      Lifetime.constant 7;
+      Lifetime.generational ~young_mean:10 ~old_mean:1_000 ~survivor_fraction:0.1;
+    ]
+  in
+  List.iter
+    (fun s ->
+      for _ = 1 to 500 do
+        checkb "positive" true (s rng >= 1)
+      done)
+    samplers
+
+let test_lifetime_mixture () =
+  let rng = Prng.create ~seed:5 in
+  let s = Lifetime.mixture [ (1.0, Lifetime.constant 1); (1.0, Lifetime.constant 100) ] in
+  let ones = ref 0 and hundreds = ref 0 in
+  for _ = 1 to 2_000 do
+    match s rng with
+    | 1 -> incr ones
+    | 100 -> incr hundreds
+    | n -> Alcotest.failf "unexpected sample %d" n
+  done;
+  checkb "both components drawn" true (!ones > 700 && !hundreds > 700);
+  Alcotest.check_raises "empty mixture" (Invalid_argument "Lifetime.mixture: empty")
+    (fun () ->
+      let (_ : Lifetime.sampler) = Lifetime.mixture [] in
+      ())
+
+let test_lifetime_generational_shape () =
+  let rng = Prng.create ~seed:6 in
+  let s = Lifetime.generational ~young_mean:100 ~old_mean:100_000 ~survivor_fraction:0.1 in
+  let old = ref 0 in
+  let n = 5_000 in
+  for _ = 1 to n do
+    if s rng > 10_000 then incr old
+  done;
+  (* roughly 10% should be long-lived *)
+  checkb "survivor fraction plausible" true (!old > n / 20 && !old < n / 4)
+
+(* ---- Spec benchmarks ---- *)
+
+let test_bench_runs (b : Spec.t) () =
+  let gc = gc_of ~heap_kb:4096 "appel" in
+  b.Spec.run gc;
+  let stats = Gc.stats gc in
+  let words = stats.Beltway.Gc_stats.words_allocated in
+  checkb
+    (Printf.sprintf "allocation near budget (%d vs %d)" words b.Spec.total_alloc_words)
+    true
+    (words >= b.Spec.total_alloc_words * 8 / 10
+    && words <= b.Spec.total_alloc_words * 13 / 10);
+  (match Beltway.Verify.check gc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "integrity after %s: %s" b.Spec.name e);
+  (* all handles were dropped: everything is garbage at the end *)
+  checki "no reachable data at end" 0 (Beltway.Oracle.live_words gc)
+
+let test_bench_determinism () =
+  let run () =
+    let gc = gc_of ~heap_kb:2048 "25.25.100" in
+    Spec.jess.Spec.run gc;
+    let s = Gc.stats gc in
+    (s.Beltway.Gc_stats.words_allocated, Beltway.Gc_stats.gcs s,
+     s.Beltway.Gc_stats.barrier_slow)
+  in
+  checkb "two runs identical" true (run () = run ())
+
+let test_bench_registry () =
+  checki "six benchmarks" 6 (List.length Spec.all);
+  checkb "by_name" true (Spec.by_name "javac" <> None);
+  checkb "unknown" true (Spec.by_name "nope" = None)
+
+let suite =
+  [
+    ("handles", `Quick, test_handles);
+    ("handle recycling", `Quick, test_handle_recycling);
+    ("death schedule", `Quick, test_death_schedule);
+    ("drain", `Quick, test_drain);
+    ("linking", `Quick, test_linking);
+    ("lifetime positivity", `Quick, test_lifetime_positive);
+    ("lifetime mixture", `Quick, test_lifetime_mixture);
+    ("lifetime generational shape", `Quick, test_lifetime_generational_shape);
+    ("bench determinism", `Quick, test_bench_determinism);
+    ("bench registry", `Quick, test_bench_registry);
+  ]
+  @ List.map
+      (fun b -> ("benchmark " ^ b.Spec.name, `Slow, test_bench_runs b))
+      Spec.all
