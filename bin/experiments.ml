@@ -1,11 +1,14 @@
 (* beltway-experiments: regenerate any of the paper's tables/figures
    by id, or all of them. *)
 
-let run ids full list_ids verbose csv =
+let run ids full list_ids verbose csv jobs =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  (match jobs with
+  | Some n -> Beltway_sim.Pool.set_default_jobs n
+  | None -> ());
   Beltway_sim.Figures.csv_output := csv;
   if list_ids then begin
     List.iter print_endline Beltway_sim.Figures.all_ids;
@@ -42,10 +45,20 @@ let csv_arg =
   let doc = "Also emit each table as CSV (for plotting)." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the evaluation sweep (default: \
+     $(b,BELTWAY_JOBS) or the number of cores). Output is identical \
+     at any job count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "regenerate the Beltway paper's tables and figures" in
   Cmd.v
     (Cmd.info "beltway-experiments" ~doc)
-    Term.(const run $ ids_arg $ full_arg $ list_arg $ verbose_arg $ csv_arg)
+    Term.(
+      const run $ ids_arg $ full_arg $ list_arg $ verbose_arg $ csv_arg
+      $ jobs_arg)
 
 let () = Cmd.eval cmd |> exit

@@ -106,9 +106,10 @@ let collect st plan =
     let size = Object_model.size_of mem addr in
     let belt = dest_belt st src_inc.Increment.belt in
     let new_addr = dest_alloc belt size in
-    for i = 0 to size - 1 do
-      Memory.set mem (new_addr + i) (Memory.get mem (addr + i))
-    done;
+    (* Objects never span frames (only pinned LOS increments do, and
+       those are marked in place), so the whole object moves as one
+       block. *)
+    Memory.blit mem ~src:addr ~dst:new_addr ~len:size;
     Object_model.set_forwarding mem addr new_addr;
     copied_words := !copied_words + size;
     incr copied_objects;

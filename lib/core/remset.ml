@@ -2,7 +2,17 @@ module Vec = Beltway_util.Vec
 
 let frame_shift = 21 (* frame indices comfortably below 2^21 *)
 
-type set = { src : int; tgt : int; slots : int Vec.t; mutable since_dedup : int }
+type set = {
+  src : int;
+  tgt : int;
+  slots : int Vec.t;
+  mutable since_dedup : int;
+  (* Lazy membership index for [mem_slot]: built on first query,
+     extended incrementally over slots appended since, discarded when a
+     dedup reorders the vec. Inserts stay append-only and cheap. *)
+  mutable probe : (int, unit) Hashtbl.t option;
+  mutable probed : int; (* slots already folded into [probe] *)
+}
 
 type t = {
   sets : (int, set) Hashtbl.t;
@@ -36,21 +46,25 @@ let index_add table frame idx =
   in
   Hashtbl.replace set idx ()
 
+(* In-place compaction: survivors are written back over the prefix of
+   the same vec and the tail truncated — no rebuild, no reallocation. *)
 let dedup t set =
-  let seen = Hashtbl.create (Vec.length set.slots) in
-  let kept = Vec.create ~dummy:0 () in
-  Vec.iter
-    (fun slot ->
-      if not (Hashtbl.mem seen slot) then begin
-        Hashtbl.replace seen slot ();
-        Vec.push kept slot
-      end)
-    set.slots;
-  let removed = Vec.length set.slots - Vec.length kept in
-  Vec.clear set.slots;
-  Vec.iter (fun s -> Vec.push set.slots s) kept;
+  let n = Vec.length set.slots in
+  let seen = Hashtbl.create n in
+  let w = ref 0 in
+  for r = 0 to n - 1 do
+    let slot = Vec.get set.slots r in
+    if not (Hashtbl.mem seen slot) then begin
+      Hashtbl.replace seen slot ();
+      Vec.set set.slots !w slot;
+      incr w
+    end
+  done;
+  Vec.truncate set.slots !w;
   set.since_dedup <- 0;
-  t.total <- t.total - removed
+  set.probe <- None;
+  set.probed <- 0;
+  t.total <- t.total - (n - !w)
 
 let insert t ~src_frame ~tgt_frame ~slot =
   let idx = rsidx ~src:src_frame ~tgt:tgt_frame in
@@ -59,7 +73,14 @@ let insert t ~src_frame ~tgt_frame ~slot =
     | Some s -> s
     | None ->
       let s =
-        { src = src_frame; tgt = tgt_frame; slots = Vec.create ~dummy:0 (); since_dedup = 0 }
+        {
+          src = src_frame;
+          tgt = tgt_frame;
+          slots = Vec.create ~dummy:0 ();
+          since_dedup = 0;
+          probe = None;
+          probed = 0;
+        }
       in
       Hashtbl.replace t.sets idx s;
       index_add t.by_src src_frame idx;
@@ -111,7 +132,22 @@ let drop_frame t frame =
 let mem_slot t ~src_frame ~tgt_frame ~slot =
   match Hashtbl.find_opt t.sets (rsidx ~src:src_frame ~tgt:tgt_frame) with
   | None -> false
-  | Some set -> Vec.exists (fun s -> s = slot) set.slots
+  | Some set ->
+    let h =
+      match set.probe with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create (max 16 (Vec.length set.slots)) in
+        set.probe <- Some h;
+        set.probed <- 0;
+        h
+    in
+    let n = Vec.length set.slots in
+    for i = set.probed to n - 1 do
+      Hashtbl.replace h (Vec.get set.slots i) ()
+    done;
+    set.probed <- n;
+    Hashtbl.mem h slot
 
 let entries_targeting t frame =
   match Hashtbl.find_opt t.by_tgt frame with

@@ -49,5 +49,7 @@ val entries_targeting : t -> int -> int
     pressure heuristic for triggers). *)
 
 val mem_slot : t -> src_frame:int -> tgt_frame:int -> slot:Addr.t -> bool
-(** Whether the slot is recorded in the (source, target) set. O(set
-    size); used by the integrity verifier, not by the collector. *)
+(** Whether the slot is recorded in the (source, target) set. Amortised
+    O(1): a per-set hash index is built lazily on first query and
+    extended incrementally, so verifier sweeps over large remsets stay
+    linear. Used by the integrity verifier, not by the collector. *)

@@ -3,9 +3,14 @@
     A frame is an aligned, contiguous, power-of-two-sized region of the
     virtual address space (paper S3.3.1). Memory hands out frames,
     reclaims them, and services word-granularity loads and stores.
-    Frames are backed lazily by OCaml int arrays; a freed frame's
-    backing store is recycled through a free list, mimicking a virtual
-    memory manager that maps and unmaps page runs.
+
+    All frames share one flat backing store (a [Bigarray.Array1] of
+    ints) in which frame [f] occupies words
+    [f lsl frame_log .. (f+1) lsl frame_log - 1], so an address is
+    itself the backing index: a load is a single unchecked read plus a
+    liveness-bitmap test. Freed frame *indices* are recycled through a
+    free list, mimicking a virtual memory manager that maps and unmaps
+    page runs; the backing grows geometrically and is never returned.
 
     The *heap budget* (how many frames a collector configuration may
     hold at once) is enforced by the GC layer, not here: this module is
@@ -28,6 +33,11 @@ val max_frames : t -> int
 val live_frames : t -> int
 (** Number of frames currently allocated. *)
 
+val fresh_frames : t -> int
+(** Next never-used frame index: an upper bound (exclusive) on every
+    index ever handed out. Grows only when the free list cannot satisfy
+    a request, so it measures virtual-space consumption. *)
+
 exception Out_of_frames
 (** Raised by {!alloc_frame} when [max_frames] are already live. The GC
     layer treats its own budget exhaustion before this can trigger;
@@ -41,9 +51,9 @@ val alloc_frame : t -> int
 val alloc_frames_contiguous : t -> int -> int list
 (** Allocate [n] frames with consecutive indices — hence contiguous
     addresses — for objects larger than one frame (large object
-    space). Always taken from fresh virtual space (never the recycle
-    list), so heavy large-object churn consumes virtual frame indices;
-    the backing stores are still recycled.
+    space). Consults the free list first, exactly like {!alloc_frame}:
+    a run of [n] consecutive recycled indices is reused when one
+    exists, and only otherwise is fresh virtual space consumed.
     @raise Out_of_frames if fewer than [n] frames remain in the
     budget. @raise Invalid_argument if [n < 1]. *)
 
@@ -54,6 +64,13 @@ val free_frame : t -> int -> unit
 val is_live : t -> int -> bool
 (** Whether the frame index is currently allocated. *)
 
+val checks_enabled : bool
+(** Whether word accesses verify the liveness bitmap (the default).
+    [BELTWAY_MEMCHECK=0] in the environment disables every check below
+    — each access becomes a single unchecked load/store, and the
+    use-after-free / wild-pointer / frame-boundary failure modes become
+    undefined behaviour. *)
+
 val get : t -> Addr.t -> int
 (** Load the word at an address. @raise Invalid_argument on a null
     address or a dead frame (catching use-after-free / wild pointers in
@@ -61,6 +78,24 @@ val get : t -> Addr.t -> int
 
 val set : t -> Addr.t -> int -> unit
 (** Store a word. Same failure modes as {!get}. *)
+
+val unsafe_get : t -> Addr.t -> int
+(** {!get} without the liveness check, regardless of
+    [checks_enabled]. The caller must know the frame is live. *)
+
+val unsafe_set : t -> Addr.t -> int -> unit
+(** {!set} without the liveness check. *)
+
+val blit : t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+(** Block move of [len] words, as one backing-store blit rather than
+    per-word {!get}/{!set} round trips. Each of the source and
+    destination ranges must lie within a single live frame.
+    @raise Invalid_argument if a range is dead, crosses a frame
+    boundary, or [len < 0]. *)
+
+val fill : t -> dst:Addr.t -> len:int -> int -> unit
+(** Block store of [len] copies of a word. Same constraints as
+    {!blit}. *)
 
 val frame_base : t -> int -> Addr.t
 (** Address of word 0 of a frame. *)

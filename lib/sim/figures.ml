@@ -29,6 +29,50 @@ let run_cached ~bench ~config ~heap_frames =
     Hashtbl.replace run_memo key r;
     r
 
+(* Populate the memo for a batch of (bench, config, heap) cells on the
+   domain pool. Each figure prewarms its exact grid, then renders
+   sequentially from the memo, so tables come out byte-identical at any
+   job count: every cell is a deterministic function of its key, only
+   the evaluation schedule is parallel. The memo itself is touched
+   exclusively from this (the submitting) domain. *)
+let prewarm cells =
+  let fresh = Hashtbl.create 64 in
+  let todo =
+    List.filter
+      (fun (bench, config, heap_frames) ->
+        let key = (bench.Spec.name, Config.to_string config, heap_frames) in
+        if Hashtbl.mem run_memo key || Hashtbl.mem fresh key then false
+        else begin
+          Hashtbl.replace fresh key ();
+          true
+        end)
+      cells
+  in
+  let results =
+    Pool.map
+      (fun (bench, config, heap_frames) ->
+        Runner.run_one ~bench ~config ~heap_frames ())
+      todo
+  in
+  List.iter2
+    (fun (bench, config, heap_frames) r ->
+      Hashtbl.replace run_memo (bench.Spec.name, Config.to_string config, heap_frames) r)
+    todo results
+
+(* Min-heap searches plus the full benches x configs x ladder grid. *)
+let prewarm_ladders ~benches ~configs ~mults =
+  Runner.prewarm_min_heaps benches;
+  prewarm
+    (List.concat_map
+       (fun b ->
+         let ladder =
+           Runner.heap_ladder ~min_frames:(Runner.min_heap_frames b) ~mults
+         in
+         List.concat_map
+           (fun config -> List.map (fun hf -> (b, config, hf)) ladder)
+           configs)
+       benches)
+
 let cell ~bench ~config ~heap_frames =
   let r = run_cached ~bench ~config ~heap_frames in
   if r.Runner.completed then Some r else None
@@ -56,6 +100,7 @@ let geo_cell ~benches ~config ~mults_frames ~metric i =
 let geomean_figure ~title ~configs ~full ~metrics =
   let mults = Runner.multipliers ~full in
   let benches = Spec.all in
+  prewarm_ladders ~benches ~configs ~mults;
   let ladders =
     List.map
       (fun b ->
@@ -106,6 +151,18 @@ let total_time (r : Runner.result) = r.Runner.total_time
 
 let table1 ~full =
   ignore full;
+  Runner.prewarm_min_heaps Spec.all;
+  prewarm
+    (List.concat_map
+       (fun b ->
+         let mh = Runner.min_heap_frames b in
+         let at mult = max 4 (int_of_float (Float.round (float_of_int mh *. mult))) in
+         [
+           (b, Config.appel, at 3.0);
+           (b, Config.appel, at 1.25);
+           (b, Config.appel, mh * 3);
+         ])
+       Spec.all);
   let t =
     Table.create ~title:"Table 1: benchmark characteristics"
       ~columns:
@@ -140,6 +197,7 @@ let table1 ~full =
 
 let fig1 ~full =
   let mults = Runner.multipliers ~full in
+  prewarm_ladders ~benches:Spec.all ~configs:[ Config.appel ] ~mults;
   let pct =
     Table.create ~title:"Figure 1(a): % of time spent in GC (Appel-style collector)"
       ~columns:("heap/min" :: List.map (fun b -> b.Spec.name) Spec.all)
@@ -264,6 +322,7 @@ let fig9 ~full =
 let fig10 ~full =
   let mults = Runner.multipliers ~full in
   let configs = [ cfg "25.25.100"; Config.appel; cfg "fixed:25" ] in
+  prewarm_ladders ~benches:Spec.all ~configs ~mults;
   List.iter
     (fun b ->
       let mh = Runner.min_heap_frames b in
@@ -306,6 +365,12 @@ let fig11 ~full =
   let configs =
     [ cfg "10.10"; cfg "10.10.100"; cfg "33.33"; cfg "33.33.100"; Config.appel ]
   in
+  prewarm
+    (List.concat_map
+       (fun mult ->
+         let heap_frames = int_of_float (float_of_int mh *. mult) in
+         List.map (fun c -> (b, c, heap_frames)) configs)
+       [ 1.5; 3.0 ]);
   let model = Cost_model.default in
   List.iter
     (fun mult ->
@@ -374,6 +439,14 @@ let ablation ~full =
     ]
   in
   let benches = [ Spec.jess; Spec.javac; Spec.pseudojbb ] in
+  Runner.prewarm_min_heaps benches;
+  prewarm
+    (List.concat_map
+       (fun (cs, _) ->
+         List.map
+           (fun b -> (b, cfg cs, Runner.min_heap_frames b * 3 / 2))
+           benches)
+       variants);
   let t =
     Table.create
       ~title:
@@ -428,6 +501,31 @@ let interp ~full =
   let configs = [ "appel"; "25.25.100"; "10.10.100"; "25.25"; "ss"; "of:25" ] in
   let model = Cost_model.default in
   let heap_bytes = 768 * 1024 in
+  (* Every (program, collector) run is independent — own heap, own
+     interpreter — so the whole grid fans out on the pool; rendering
+     (including the output-identity check against the first collector)
+     stays sequential and order-stable. *)
+  let grid =
+    List.concat_map
+      (fun (p : Beltlang.Programs.t) -> List.map (fun cs -> (p, cs)) configs)
+      Beltlang.Programs.all
+  in
+  let results =
+    Pool.map
+      (fun ((p : Beltlang.Programs.t), cs) ->
+        let config = cfg cs in
+        let gc = Beltway.Gc.create ~config ~heap_bytes () in
+        let it = Beltlang.Interp.create gc in
+        match Beltlang.Interp.run_string it p.Beltlang.Programs.source with
+        | () -> Some (Beltway.Gc.stats gc, Beltlang.Interp.output it)
+        | exception Beltway.Gc.Out_of_memory _ -> None)
+      grid
+  in
+  let by_cell = Hashtbl.create 64 in
+  List.iter2
+    (fun ((p : Beltlang.Programs.t), cs) r ->
+      Hashtbl.replace by_cell (p.Beltlang.Programs.name, cs) r)
+    grid results;
   List.iter
     (fun (p : Beltlang.Programs.t) ->
       let t =
@@ -441,12 +539,8 @@ let interp ~full =
       let reference = ref None in
       List.iter
         (fun cs ->
-          let config = cfg cs in
-          let gc = Beltway.Gc.create ~config ~heap_bytes () in
-          let it = Beltlang.Interp.create gc in
-          match Beltlang.Interp.run_string it p.Beltlang.Programs.source with
-          | () ->
-            let out = Beltlang.Interp.output it in
+          match Hashtbl.find by_cell (p.Beltlang.Programs.name, cs) with
+          | Some (stats, out) ->
             let ok =
               match !reference with
               | None ->
@@ -454,7 +548,6 @@ let interp ~full =
                 true
               | Some r -> r = out
             in
-            let stats = Beltway.Gc.stats gc in
             Table.add_row t
               [
                 cs;
@@ -464,8 +557,7 @@ let interp ~full =
                 Printf.sprintf "%.2e" (Cost_model.total_time model stats);
                 (if ok then "identical" else "MISMATCH");
               ]
-          | exception Beltway.Gc.Out_of_memory _ ->
-            Table.add_row t [ cs; "-"; "-"; "-"; "-"; "OOM" ])
+          | None -> Table.add_row t [ cs; "-"; "-"; "-"; "-"; "OOM" ])
         configs;
       print_table t)
     Beltlang.Programs.all
@@ -504,6 +596,19 @@ let sensitivity ~full =
     ]
   in
   let benches = Spec.all in
+  Runner.prewarm_min_heaps benches;
+  prewarm
+    (List.concat_map
+       (fun b ->
+         let mh = Runner.min_heap_frames b in
+         List.concat_map
+           (fun mult ->
+             let heap_frames =
+               max 4 (int_of_float (Float.round (float_of_int mh *. mult)))
+             in
+             [ (b, cfg "25.25.100", heap_frames); (b, Config.appel, heap_frames) ])
+           [ 1.32; 3.0 ])
+       benches);
   let ratio model mult =
     let per_bench config =
       List.map

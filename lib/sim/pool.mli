@@ -1,0 +1,52 @@
+(** A fixed-size pool of OCaml 5 domains for the evaluation harness.
+
+    The paper evaluation runs hundreds of fully independent
+    (benchmark, configuration, heap size) simulations; each builds its
+    own [Gc.t], so there is no shared heap state and a task's result is
+    a deterministic function of the task alone. The pool parallelises
+    *scheduling* only: {!map} always returns results in input order,
+    and its output is byte-identical at any job count.
+
+    Worker domains are spawned lazily on the first parallel {!map} and
+    joined at exit (for the default pool) or by {!shutdown}. Calls to
+    {!map} from inside a pool task run sequentially — nesting adds no
+    parallelism and must not deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool running at most [jobs] tasks concurrently ([jobs - 1]
+    spawned domains plus the calling domain; clamped to [1, 64]). *)
+
+val jobs : t -> int
+
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element, running up to [jobs]
+    applications concurrently, and returns results in input order.
+    [pool] defaults to {!default}. With [jobs = 1], a single-element
+    list, or when called from inside a pool task, this is exactly
+    [List.map f xs] on the calling domain. If any application raises,
+    one such exception is re-raised after all tasks finish. *)
+
+val default : unit -> t
+(** The shared pool. Sized by {!set_default_jobs} if called, else the
+    [BELTWAY_JOBS] environment variable, else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Fix the default pool's size (the harness's [--jobs N]). Replaces
+    the current default pool if it was already running at a different
+    size. *)
+
+val default_jobs : unit -> int
+(** Job count of the default pool (creating it if needed). *)
+
+val recommended_jobs : unit -> int
+(** [BELTWAY_JOBS] if set and valid, else
+    [Domain.recommended_domain_count ()], clamped to the pool
+    maximum. *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's workers. Queued-but-unstarted work is
+    abandoned (only possible if a [map] was interrupted by an
+    exception elsewhere); the pool restarts lazily if used again. *)

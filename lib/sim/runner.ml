@@ -43,40 +43,62 @@ let run_one ?(model = Cost_model.default) ~bench ~config ~heap_frames () =
     total_time = Cost_model.total_time model stats;
   }
 
+(* The memo is only ever touched from the submitting domain: pool
+   tasks run the search below and results are recorded on return. *)
 let memo : (string * string, int) Hashtbl.t = Hashtbl.create 16
 
+let min_heap_key bench config =
+  (bench.Beltway_workload.Spec.name, Config.to_string config)
+
+(* The raw binary search, deterministic per (benchmark, config) and
+   free of shared state, so it can run on any domain. *)
+let min_heap_search ~config bench =
+  let completes frames =
+    (run_one ~bench ~config ~heap_frames:frames ()).completed
+  in
+  (* Grow an upper bound from the hint, then binary search. *)
+  let hi = ref (max 8 bench.Beltway_workload.Spec.min_heap_hint_frames) in
+  while not (completes !hi) do
+    hi := !hi * 2;
+    if !hi > 1 lsl 22 then
+      failwith
+        (Printf.sprintf "min_heap_frames: %s/%s does not complete even at %d frames"
+           bench.Beltway_workload.Spec.name (Config.to_string config) !hi)
+  done;
+  let lo = ref (max 4 (!hi / 16)) in
+  (* Ensure lo fails (or accept lo). *)
+  if completes !lo then hi := !lo
+  else begin
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if completes mid then hi := mid else lo := mid
+    done
+  end;
+  !hi
+
+let record_min_heap bench config mh =
+  Log.info (fun m ->
+      m "min heap for %s under %s: %d frames (%d KB)"
+        bench.Beltway_workload.Spec.name (Config.to_string config) mh
+        (mh * frame_bytes / 1024));
+  Hashtbl.replace memo (min_heap_key bench config) mh
+
 let min_heap_frames ?(config = Config.appel) bench =
-  let key = (bench.Beltway_workload.Spec.name, Config.to_string config) in
-  match Hashtbl.find_opt memo key with
+  match Hashtbl.find_opt memo (min_heap_key bench config) with
   | Some v -> v
   | None ->
-    let completes frames =
-      (run_one ~bench ~config ~heap_frames:frames ()).completed
-    in
-    (* Grow an upper bound from the hint, then binary search. *)
-    let hi = ref (max 8 bench.Beltway_workload.Spec.min_heap_hint_frames) in
-    while not (completes !hi) do
-      hi := !hi * 2;
-      if !hi > 1 lsl 22 then
-        failwith
-          (Printf.sprintf "min_heap_frames: %s/%s does not complete even at %d frames"
-             bench.Beltway_workload.Spec.name (Config.to_string config) !hi)
-    done;
-    let lo = ref (max 4 (!hi / 16)) in
-    (* Ensure lo fails (or accept lo). *)
-    if completes !lo then hi := !lo
-    else begin
-      while !hi - !lo > 1 do
-        let mid = (!lo + !hi) / 2 in
-        if completes mid then hi := mid else lo := mid
-      done
-    end;
-    Log.info (fun m ->
-        m "min heap for %s under %s: %d frames (%d KB)"
-          bench.Beltway_workload.Spec.name (Config.to_string config) !hi
-          (!hi * frame_bytes / 1024));
-    Hashtbl.replace memo key !hi;
-    !hi
+    let mh = min_heap_search ~config bench in
+    record_min_heap bench config mh;
+    mh
+
+let prewarm_min_heaps ?(config = Config.appel) benches =
+  let todo =
+    List.filter
+      (fun b -> not (Hashtbl.mem memo (min_heap_key b config)))
+      benches
+  in
+  let found = Pool.map (min_heap_search ~config) todo in
+  List.iter2 (fun b mh -> record_min_heap b config mh) todo found
 
 let multipliers ~full =
   let n = if full then 33 else 9 in
@@ -88,5 +110,5 @@ let multipliers ~full =
 let heap_ladder ~min_frames ~mults =
   List.map (fun m -> max 4 (int_of_float (Float.round (float_of_int min_frames *. m)))) mults
 
-let sweep ?model ~bench ~config ~heaps () =
-  List.map (fun heap_frames -> run_one ?model ~bench ~config ~heap_frames ()) heaps
+let sweep ?model ?pool ~bench ~config ~heaps () =
+  Pool.map ?pool (fun heap_frames -> run_one ?model ~bench ~config ~heap_frames ()) heaps

@@ -43,6 +43,14 @@ val min_heap_frames :
     search; [config] defaults to the Appel comparator, as in
     Table 1). Results are memoised per (benchmark, config label). *)
 
+val prewarm_min_heaps :
+  ?config:Config.t -> Beltway_workload.Spec.t list -> unit
+(** Run the not-yet-memoised minimum-heap searches for [benches]
+    concurrently on the default {!Pool} (each search is sequential
+    internally — every probe depends on the last — but searches for
+    different benchmarks are independent). Subsequent
+    {!min_heap_frames} calls are cache hits. *)
+
 val multipliers : full:bool -> float list
 (** The heap-size ladder: 9 points (or 33 with [full]) from 1.0 to
     3.0, geometrically spaced. *)
@@ -51,8 +59,13 @@ val heap_ladder : min_frames:int -> mults:float list -> int list
 
 val sweep :
   ?model:Cost_model.t ->
+  ?pool:Pool.t ->
   bench:Beltway_workload.Spec.t ->
   config:Config.t ->
   heaps:int list ->
   unit ->
   result list
+(** Run the benchmark at every heap size in [heaps], in parallel on
+    [pool] (default: the shared {!Pool.default}). Results are in
+    [heaps] order and independent of the job count: each run builds its
+    own [Gc.t]. *)

@@ -1,0 +1,28 @@
+(** Minimal JSON: enough to emit and validate the benchmark harness's
+    machine-readable results ([BENCH_results.json]) without an external
+    dependency. Numbers are floats (as in JSON itself); non-finite
+    floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialise; [indent] pretty-prints with two-space indentation. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for absent fields or non-objects. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,19 @@
+The bench harness records machine-readable results. A smoke run (tiny
+bechamel quota, no figures) must still produce a BENCH_results.json
+that passes the harness's own schema check.
+
+  $ beltway-bench --smoke --jobs 2 > /dev/null
+  $ beltway-bench --validate BENCH_results.json
+  BENCH_results.json: ok
+
+A malformed file is rejected with a non-zero exit.
+
+  $ echo '{"micro": [' > broken.json
+  $ beltway-bench --validate broken.json
+  broken.json: parse error: unexpected end of input at offset 12
+  [1]
+
+  $ echo '{"micro": [], "phases": [{"phase": "micro"}]}' > incomplete.json
+  $ beltway-bench --validate incomplete.json
+  incomplete.json: entry missing numeric field "seconds"
+  [1]

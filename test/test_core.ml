@@ -160,6 +160,28 @@ let test_remset_dedup () =
   checki "inserts counted raw" 100 (Remset.inserts r);
   checkb "slot retained" true (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:42)
 
+let test_remset_mem_slot_lazy_index () =
+  let r = Remset.create ~dedup_threshold:8 () in
+  Remset.insert r ~src_frame:1 ~tgt_frame:0 ~slot:10;
+  checkb "present" true (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:10);
+  checkb "absent" false (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:11);
+  (* inserts after the index was first built must become visible *)
+  Remset.insert r ~src_frame:1 ~tgt_frame:0 ~slot:11;
+  checkb "late insert visible" true
+    (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:11);
+  (* push the set over the dedup threshold: compaction must rebuild the
+     index without losing or inventing slots *)
+  for _ = 1 to 50 do
+    Remset.insert r ~src_frame:1 ~tgt_frame:0 ~slot:12
+  done;
+  checkb "entries compacted" true (Remset.total_entries r < 10);
+  checkb "slot survives dedup" true
+    (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:12);
+  checkb "early slot survives dedup" true
+    (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:10);
+  checkb "still no false positive" false
+    (Remset.mem_slot r ~src_frame:1 ~tgt_frame:0 ~slot:13)
+
 (* ---- Frame_info ---- *)
 
 let test_frame_info () =
@@ -281,6 +303,7 @@ let suite =
     ("remset insert/iter", `Quick, test_remset_insert_iter);
     ("remset drop frame", `Quick, test_remset_drop_frame);
     ("remset dedup", `Quick, test_remset_dedup);
+    ("remset mem_slot lazy index", `Quick, test_remset_mem_slot_lazy_index);
     ("frame info", `Quick, test_frame_info);
     ("barrier unidirectional", `Quick, test_barrier_unidirectional);
     ("barrier counters/boot", `Quick, test_barrier_counters_and_boot_target);

@@ -77,6 +77,145 @@ let test_memory_wild_access () =
     (Invalid_argument (Printf.sprintf "Memory.free_frame: frame %d not live" f))
     (fun () -> Memory.free_frame m f)
 
+let test_memory_blit_fill () =
+  let m = mem () in
+  let f1 = Memory.alloc_frame m and f2 = Memory.alloc_frame m in
+  let src = Memory.frame_base m f1 and dst = Memory.frame_base m f2 in
+  let words = Memory.frame_words m in
+  for i = 0 to words - 1 do
+    Memory.set m (src + i) (i * 3)
+  done;
+  Memory.blit m ~src ~dst ~len:words;
+  checki "whole-frame blit" (100 * 3) (Memory.get m (dst + 100));
+  (* short blit takes the word-loop path *)
+  Memory.blit m ~src:(src + 7) ~dst:(dst + 1) ~len:5;
+  checki "short blit" (9 * 3) (Memory.get m (dst + 3));
+  Memory.fill m ~dst ~len:words 7;
+  checki "fill" 7 (Memory.get m (dst + words - 1));
+  Memory.blit m ~src ~dst ~len:0 (* len 0 is a no-op, not an error *)
+
+let test_memory_blit_frame_boundary () =
+  let m = mem () in
+  let f1 = Memory.alloc_frame m and f2 = Memory.alloc_frame m in
+  let src = Memory.frame_base m f1 and dst = Memory.frame_base m f2 in
+  let words = Memory.frame_words m in
+  let crosses f = try f (); false with Invalid_argument _ -> true in
+  checkb "blit src crossing boundary rejected" true
+    (crosses (fun () -> Memory.blit m ~src:(src + words - 2) ~dst ~len:4));
+  checkb "blit dst crossing boundary rejected" true
+    (crosses (fun () -> Memory.blit m ~src ~dst:(dst + words - 2) ~len:4));
+  checkb "fill crossing boundary rejected" true
+    (crosses (fun () -> Memory.fill m ~dst:(dst + words - 2) ~len:4 0));
+  checkb "blit into dead frame rejected" true
+    (crosses (fun () ->
+         Memory.free_frame m f2;
+         Memory.blit m ~src ~dst ~len:4))
+
+(* Satellite regression: contiguous allocation must consult the
+   recycled-frame free list before minting fresh indices. *)
+let test_memory_contiguous_recycles () =
+  let m = Memory.create ~frame_log_words:8 ~max_frames:16 in
+  let fs = List.init 6 (fun _ -> Memory.alloc_frame m) in
+  Alcotest.(check (list int)) "fresh indices" [ 1; 2; 3; 4; 5; 6 ] fs;
+  List.iter (Memory.free_frame m) [ 2; 3; 4; 5 ];
+  Memory.set m (Memory.frame_base m 6) 99;
+  let l = Memory.alloc_frames_contiguous m 3 in
+  Alcotest.(check (list int)) "consecutive run from the free list" [ 2; 3; 4 ] l;
+  checki "recycled frames read zeros" 0 (Memory.get m (Memory.frame_base m 2));
+  checki "high-water mark unchanged" 7 (Memory.fresh_frames m);
+  checki "untouched frame keeps its data" 99 (Memory.get m (Memory.frame_base m 6))
+
+let test_memory_contiguous_fresh_fallback () =
+  let m = Memory.create ~frame_log_words:8 ~max_frames:16 in
+  ignore (List.init 5 (fun _ -> Memory.alloc_frame m));
+  (* free list holds only non-consecutive indices: no run of 3 *)
+  List.iter (Memory.free_frame m) [ 1; 3; 5 ];
+  let l = Memory.alloc_frames_contiguous m 3 in
+  Alcotest.(check (list int)) "falls back to fresh frames" [ 6; 7; 8 ] l
+
+let test_memory_contiguous_full_budget () =
+  (* With the whole budget freed, a full-budget contiguous request must
+     recycle rather than demand fresh frames beyond the budget. *)
+  let m = Memory.create ~frame_log_words:8 ~max_frames:8 in
+  let fs = List.init 8 (fun _ -> Memory.alloc_frame m) in
+  List.iter (Memory.free_frame m) fs;
+  let l = Memory.alloc_frames_contiguous m 8 in
+  Alcotest.(check (list int)) "entire budget recycled in place"
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ] l;
+  checki "no fresh frames minted" 9 (Memory.fresh_frames m)
+
+(* Property: Memory with its liveness bitmap behaves like a per-address
+   shadow map under random alloc/free/set/get/blit sequences. *)
+let memory_model_prop =
+  QCheck.Test.make ~name:"Memory agrees with a shadow model" ~count:100
+    QCheck.(list (triple (int_range 0 4) small_nat small_nat))
+    (fun ops ->
+      let m = Memory.create ~frame_log_words:6 ~max_frames:12 in
+      let words = Memory.frame_words m in
+      let shadow = Hashtbl.create 512 in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (op, x, y) ->
+          match op with
+          | 0 -> (
+            try
+              let f = Memory.alloc_frame m in
+              live := f :: !live;
+              for i = 0 to words - 1 do
+                Hashtbl.replace shadow (Memory.frame_base m f + i) 0
+              done
+            with Memory.Out_of_frames -> ())
+          | 1 -> (
+            match !live with
+            | [] -> ()
+            | f :: rest ->
+              live := rest;
+              let base = Memory.frame_base m f in
+              for i = 0 to words - 1 do
+                Hashtbl.remove shadow (base + i)
+              done;
+              Memory.free_frame m f)
+          | 2 -> (
+            match !live with
+            | [] -> ()
+            | fs ->
+              let f = List.nth fs (x mod List.length fs) in
+              let a = Memory.frame_base m f + (y mod words) in
+              Memory.set m a ((x * 131) + y);
+              Hashtbl.replace shadow a ((x * 131) + y))
+          | 3 -> (
+            match !live with
+            | [] -> ()
+            | fs ->
+              let f = List.nth fs (x mod List.length fs) in
+              let a = Memory.frame_base m f + (y mod words) in
+              if Memory.get m a <> Hashtbl.find shadow a then ok := false)
+          | _ -> (
+            match !live with
+            | f1 :: f2 :: _ ->
+              let len = 1 + (y mod words) in
+              let src = Memory.frame_base m f1 and dst = Memory.frame_base m f2 in
+              Memory.blit m ~src ~dst ~len;
+              for i = 0 to len - 1 do
+                Hashtbl.replace shadow (dst + i) (Hashtbl.find shadow (src + i))
+              done
+            | _ -> ()))
+        ops;
+      Hashtbl.iter (fun a v -> if Memory.get m a <> v then ok := false) shadow;
+      (* liveness bitmap agrees with the model, and dead frames reject
+         every access *)
+      for f = 1 to 11 do
+        let alive = List.mem f !live in
+        if Memory.is_live m f <> alive then ok := false;
+        if not alive then begin
+          match Memory.get m (Memory.frame_base m f) with
+          | _ -> ok := false
+          | exception Invalid_argument _ -> ()
+        end
+      done;
+      !ok)
+
 (* ---- Value ---- *)
 
 let test_value_tags () =
@@ -225,6 +364,12 @@ let suite =
     ("memory zeroed on reuse", `Quick, test_memory_zeroed_on_reuse);
     ("memory budget", `Quick, test_memory_budget);
     ("memory wild access", `Quick, test_memory_wild_access);
+    ("memory blit/fill", `Quick, test_memory_blit_fill);
+    ("memory blit frame boundary", `Quick, test_memory_blit_frame_boundary);
+    ("memory contiguous recycles", `Quick, test_memory_contiguous_recycles);
+    ("memory contiguous fresh fallback", `Quick, test_memory_contiguous_fresh_fallback);
+    ("memory contiguous full budget", `Quick, test_memory_contiguous_full_budget);
+    QCheck_alcotest.to_alcotest memory_model_prop;
     ("value tags", `Quick, test_value_tags);
     ("value errors", `Quick, test_value_errors);
     QCheck_alcotest.to_alcotest value_int_roundtrip_prop;

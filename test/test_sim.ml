@@ -132,6 +132,74 @@ let test_runner_oom_reported () =
   checkb "not completed" false r.Runner.completed;
   checkb "reason given" true (r.Runner.oom_reason <> None)
 
+(* ---- Pool ---- *)
+
+module Pool = Beltway_sim.Pool
+
+let with_pool jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_pool_map_order () =
+  with_pool 4 (fun p ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "results in input order"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map ~pool:p (fun x -> x * x) xs));
+  with_pool 1 (fun p ->
+      Alcotest.(check (list int))
+        "sequential pool" [ 2; 4 ]
+        (Pool.map ~pool:p (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_pool_exception () =
+  with_pool 4 (fun p ->
+      Alcotest.check_raises "worker exception propagates"
+        (Failure "task 7") (fun () ->
+          ignore
+            (Pool.map ~pool:p
+               (fun x -> if x = 7 then failwith "task 7" else x)
+               (List.init 16 Fun.id))))
+
+let test_pool_nested_map () =
+  (* a task that itself calls Pool.map must not deadlock: nested maps
+     run sequentially in the worker *)
+  with_pool 2 (fun p ->
+      let r =
+        Pool.map ~pool:p
+          (fun x -> List.fold_left ( + ) 0 (Pool.map ~pool:p (fun y -> x * y) [ 1; 2; 3 ]))
+          [ 1; 10 ]
+      in
+      Alcotest.(check (list int)) "nested" [ 6; 60 ] r)
+
+(* The tentpole determinism guarantee: an evaluation sweep produces
+   byte-identical tables at any job count. *)
+let test_pool_sweep_deterministic () =
+  let table_of results =
+    let t =
+      Beltway_util.Table.create ~title:"sweep"
+        ~columns:[ "heap"; "completed"; "total" ]
+    in
+    List.iter
+      (fun (r : Runner.result) ->
+        Beltway_util.Table.add_row t
+          [
+            string_of_int r.Runner.heap_frames;
+            string_of_bool r.Runner.completed;
+            Printf.sprintf "%.6f" r.Runner.total_time;
+          ])
+      results;
+    Beltway_util.Table.to_csv t
+  in
+  let heaps = [ 40; 60; 80; 120 ] in
+  let run jobs =
+    with_pool jobs (fun p ->
+        table_of
+          (Runner.sweep ~pool:p ~bench:Spec.raytrace ~config:Config.appel
+             ~heaps ()))
+  in
+  Alcotest.(check string) "jobs=1 and jobs=4 byte-identical" (run 1) (run 4)
+
 let test_figures_ids () =
   checki "13 artifacts" 13 (List.length Figures.all_ids);
   checkb "unknown id rejected" true
@@ -151,5 +219,9 @@ let suite =
     ("runner ladder", `Quick, test_runner_ladder);
     ("runner min heap", `Slow, test_runner_min_heap);
     ("runner OOM reported", `Quick, test_runner_oom_reported);
+    ("pool map order", `Quick, test_pool_map_order);
+    ("pool exception", `Quick, test_pool_exception);
+    ("pool nested map", `Quick, test_pool_nested_map);
+    ("pool sweep deterministic", `Slow, test_pool_sweep_deterministic);
     ("figure ids", `Quick, test_figures_ids);
   ]

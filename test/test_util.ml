@@ -7,6 +7,7 @@ module Pqueue = Beltway_util.Pqueue
 module SM = Beltway_util.Stats_math
 module Table = Beltway_util.Table
 module Histogram = Beltway_util.Histogram
+module Json = Beltway_util.Json
 
 let check = Alcotest.check
 let checki = Alcotest.(check int)
@@ -267,6 +268,78 @@ let test_histogram () =
     (Invalid_argument "Histogram.create: width must be positive") (fun () ->
       ignore (Histogram.create ~bucket_width:0.0 ()))
 
+(* ---- Json ---- *)
+
+let test_json_print () =
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Num 1.5);
+        ("b", Json.Arr [ Json.Null; Json.Bool true; Json.Str "x\"y\n" ]);
+        ("n", Json.Num 42.0);
+      ]
+  in
+  check Alcotest.string "compact"
+    {|{"a":1.5,"b":[null,true,"x\"y\n"],"n":42}|}
+    (Json.to_string j);
+  check Alcotest.string "nan prints as null" "null" (Json.to_string (Json.Num Float.nan))
+
+let test_json_parse () =
+  let j = Json.of_string {| {"xs": [1, -2.5, "aAb"], "t": true} |} in
+  Alcotest.(check (option (float 1e-9)))
+    "number" (Some (-2.5))
+    (Option.bind (Json.member "xs" j) (fun xs ->
+         Option.bind (Json.to_list xs) (fun l -> Json.to_float (List.nth l 1))));
+  Alcotest.(check (option string))
+    "unicode escape" (Some "aAb")
+    (Option.bind (Json.member "xs" j) (fun xs ->
+         Option.bind (Json.to_list xs) (fun l -> Json.to_str (List.nth l 2))));
+  check Alcotest.bool "absent member" true (Json.member "zzz" j = None)
+
+let test_json_malformed () =
+  let rejects s =
+    match Json.of_string s with
+    | _ -> false
+    | exception Json.Parse_error _ -> true
+  in
+  checkb "unterminated array" true (rejects "[1, 2");
+  checkb "trailing garbage" true (rejects "{} {}");
+  checkb "bare word" true (rejects "nul");
+  checkb "missing colon" true (rejects {|{"a" 1}|});
+  checkb "empty input" true (rejects "")
+
+let json_roundtrip_prop =
+  let gen =
+    QCheck.Gen.(
+      sized
+      @@ fix (fun self n ->
+             let leaf =
+               oneof
+                 [
+                   return Json.Null;
+                   map (fun b -> Json.Bool b) bool;
+                   map (fun i -> Json.Num (float_of_int i)) small_signed_int;
+                   map (fun s -> Json.Str s) string_printable;
+                 ]
+             in
+             if n = 0 then leaf
+             else
+               oneof
+                 [
+                   leaf;
+                   map (fun l -> Json.Arr l) (list_size (int_bound 4) (self (n / 2)));
+                   map
+                     (fun l -> Json.Obj l)
+                     (list_size (int_bound 4)
+                        (pair string_printable (self (n / 2))));
+                 ]))
+  in
+  QCheck.Test.make ~name:"Json print/parse roundtrip" ~count:300
+    (QCheck.make gen)
+    (fun j ->
+      Json.of_string (Json.to_string j) = j
+      && Json.of_string (Json.to_string ~indent:true j) = j)
+
 let suite =
   [
     ("prng determinism", `Quick, test_prng_determinism);
@@ -295,4 +368,8 @@ let suite =
     ("table arity", `Quick, test_table_arity);
     ("table csv", `Quick, test_table_csv);
     ("histogram", `Quick, test_histogram);
+    ("json print", `Quick, test_json_print);
+    ("json parse", `Quick, test_json_parse);
+    ("json malformed", `Quick, test_json_malformed);
+    QCheck_alcotest.to_alcotest json_roundtrip_prop;
   ]
