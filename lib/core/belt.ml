@@ -30,6 +30,7 @@ let remove t inc =
 
 let iter t f = List.iter f t.incs
 let fold t ~init ~f = List.fold_left f init t.incs
+let fold_right t ~init ~f = List.fold_right f t.incs init
 
 let occupancy_frames t =
   fold t ~init:0 ~f:(fun acc i -> acc + Increment.occupancy_frames i)

@@ -32,6 +32,10 @@ val iter : t -> (Increment.t -> unit) -> unit
 
 val fold : t -> init:'a -> f:('a -> Increment.t -> 'a) -> 'a
 
+val fold_right : t -> init:'a -> f:(Increment.t -> 'a -> 'a) -> 'a
+(** Back-to-front fold, for building front-to-back lists by consing
+    without an intermediate reversal. *)
+
 val occupancy_frames : t -> int
 (** Total frames held by the belt's increments. *)
 

@@ -30,8 +30,18 @@ let dest_belt st belt =
 
 type dest = { inc : Increment.t; pos : Increment.pos }
 
+(* The hot path below is deliberately allocation-free per object and
+   per slot: plan membership, pinnedness and the owning increment id
+   come from one packed frame-table word ([Frame_table.meta]), the
+   id -> increment step is an array read, forwarding pointers are
+   decoded from the raw header word (no [option]), and reference slots
+   are walked with a direct [for] loop over the object's field range
+   instead of a per-slot closure. Only per-collection setup (the plan
+   walk, destination registration) allocates. *)
 let collect st plan =
   let mem = st.State.mem in
+  let ftab = st.State.ftab in
+  let frame_log = Memory.frame_log mem in
   st.State.in_gc <- true;
   let copied_words = ref 0 in
   let copied_objects = ref 0 in
@@ -39,17 +49,14 @@ let collect st plan =
   let remset_slots = ref 0 in
   let roots_scanned = ref 0 in
 
-  (* Plan membership, by increment id and by frame. *)
-  let in_plan_inc = Hashtbl.create 16 in
-  let in_plan_frame = Hashtbl.create 64 in
+  (* Plan membership: an in-plan bit on each member frame's packed
+     metadata word, plus a flag on the increment itself. *)
   List.iter
     (fun (inc : Increment.t) ->
-      Hashtbl.replace in_plan_inc inc.Increment.id ();
+      inc.Increment.in_plan <- true;
       Increment.seal inc;
-      Vec.iter (fun f -> Hashtbl.replace in_plan_frame f ()) inc.Increment.frames)
+      Vec.iter (fun f -> Frame_table.set_in_plan ftab ~frame:f true) inc.Increment.frames)
     plan.increments;
-  let frame_in_plan f = Hashtbl.mem in_plan_frame f in
-  let inc_in_plan (i : Increment.t) = Hashtbl.mem in_plan_inc i.Increment.id in
 
   (* Destination (open) increments, one per destination belt, created
      lazily and replaced when they hit their bound. [dests] also serves
@@ -58,7 +65,7 @@ let collect st plan =
   let dests : dest option Vec.t = Vec.create ~dummy:None () in
   let belt_dest : dest option array = Array.make (Array.length st.State.belts) None in
   let register_dest belt =
-    let inc = State.open_inc st ~belt ~in_plan:inc_in_plan in
+    let inc = State.open_inc st ~belt in
     let d = { inc; pos = Increment.scan_pos inc } in
     Vec.push dests (Some d);
     belt_dest.(belt) <- Some d;
@@ -78,63 +85,74 @@ let collect st plan =
      over to a fresh increment when the current one is full. *)
   let rec dest_alloc belt size =
     let d = dest_for belt in
-    match Increment.try_bump d.inc ~size with
-    | Some addr -> addr
-    | None ->
-      if Increment.at_bound d.inc then begin
-        Increment.seal d.inc;
-        let d' = register_dest belt in
-        ignore d';
-        dest_alloc belt size
-      end
-      else begin
-        State.grant_frame st d.inc ~during_gc:true;
-        dest_alloc belt size
-      end
+    let addr = Increment.bump_or_null d.inc ~size in
+    if addr <> Addr.null then addr
+    else if Increment.at_bound d.inc then begin
+      Increment.seal d.inc;
+      ignore (register_dest belt);
+      dest_alloc belt size
+    end
+    else begin
+      State.grant_frame st d.inc ~during_gc:true;
+      dest_alloc belt size
+    end
   in
 
   (* Pinned (large-object) increments in the plan are marked in place
      rather than copied; their objects join the grey set through
-     [pinned_work]. *)
-  let marked_pinned : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let pinned_work : Increment.t Vec.t =
-    Vec.create ~dummy:(Increment.create ~id:(-1) ~belt:0 ~stamp:0 ~bound_frames:None) ()
-  in
+     [pinned_work] (scratch reused across collections), flagged via
+     [gc_mark] so each is pushed once. *)
+  let pinned_work = st.State.gc_pinned in
+  Vec.clear pinned_work;
 
-  (* Evacuate one object; returns its new address. *)
-  let copy src_inc addr =
-    let size = Object_model.size_of mem addr in
+  (* Evacuate one object; returns its new address. [size] was decoded
+     from the header word the caller already loaded. Unchecked accesses
+     throughout the drain are sound by construction: sources sit in
+     in-plan frames and destinations in just-granted frames, both live
+     for the whole collection. *)
+  let copy (src_inc : Increment.t) addr size =
     let belt = dest_belt st src_inc.Increment.belt in
     let new_addr = dest_alloc belt size in
     (* Objects never span frames (only pinned LOS increments do, and
        those are marked in place), so the whole object moves as one
        block. *)
-    Memory.blit mem ~src:addr ~dst:new_addr ~len:size;
-    Object_model.set_forwarding mem addr new_addr;
+    Memory.unsafe_blit mem ~src:addr ~dst:new_addr ~len:size;
+    (* Forwarding pointer: odd status word, as decoded in [forward]. *)
+    Memory.unsafe_set mem addr ((new_addr lsl 1) lor 1);
     copied_words := !copied_words + size;
     incr copied_objects;
     new_addr
   in
 
+  let unowned addr =
+    invalid_arg (Printf.sprintf "Collector: object %#x in unowned frame" addr)
+  in
   let forward v =
     if not (Value.is_ref v) then v
     else begin
       let addr = Value.to_addr v in
-      if not (frame_in_plan (State.frame_of_addr st addr)) then v
+      let m = Frame_table.meta ftab (addr lsr frame_log) in
+      if not (Frame_table.meta_in_plan m) then v
       else begin
-        match Object_model.forwarded mem addr with
-        | Some new_addr -> Value.of_addr new_addr
-        | None -> (
-          match State.inc_of_frame st (State.frame_of_addr st addr) with
-          | None ->
-            invalid_arg (Printf.sprintf "Collector: object %#x in unowned frame" addr)
-          | Some inc when inc.Increment.pinned ->
-            if not (Hashtbl.mem marked_pinned inc.Increment.id) then begin
-              Hashtbl.replace marked_pinned inc.Increment.id ();
+        (* Header word: odd = forwarding pointer, even = field count.
+           The in-plan bit implies a live frame, so the load need not
+           consult the liveness bitmap. *)
+        let s = Memory.unsafe_get mem addr in
+        if s land 1 = 1 then Value.of_addr (s lsr 1)
+        else begin
+          let id = Frame_table.meta_incr m in
+          if id < 0 then unowned addr;
+          match st.State.inc_by_id.(id) with
+          | None -> unowned addr
+          | Some inc when Frame_table.meta_pinned m ->
+            if not inc.Increment.gc_mark then begin
+              inc.Increment.gc_mark <- true;
               Vec.push pinned_work inc
             end;
             v
-          | Some src_inc -> Value.of_addr (copy src_inc addr))
+          | Some src_inc ->
+            Value.of_addr (copy src_inc addr ((s lsr 1) + Object_model.header_words))
+        end
       end
     end
   in
@@ -145,38 +163,82 @@ let collect st plan =
       forward v);
 
   (* Record that a surviving slot still holds an interesting pointer,
-     in whichever bookkeeping the configuration uses. *)
+     in whichever bookkeeping the configuration uses. The predicate is
+     the write barrier's, inlined over the already-flat stamp table. *)
+  let use_cards = st.State.config.Config.barrier = Config.Cards in
+  let remsets = st.State.remsets in
+  let cards = st.State.cards in
   let re_remember ~slot ~src ~tgt =
-    if Write_barrier.would_remember st ~src_frame:src ~tgt_frame:tgt then begin
-      match st.State.config.Config.barrier with
-      | Config.Remsets -> Remset.insert st.State.remsets ~src_frame:src ~tgt_frame:tgt ~slot
-      | Config.Cards -> Card_table.mark st.State.cards ~frame:src
+    if src <> tgt && Frame_table.stamp ftab tgt < Frame_table.stamp ftab src then begin
+      if use_cards then Card_table.mark cards ~frame:src
+      else Remset.insert remsets ~src_frame:src ~tgt_frame:tgt ~slot
     end
+  in
+
+  (* Scan one grey object: forward its outgoing references and re-apply
+     the barrier predicate under the new frame stamps. Slots are the
+     TIB word at [obj+1] and the fields from [obj+2]: one contiguous
+     range, walked directly. The source frame is taken per slot, which
+     also handles pinned objects spanning several (contiguous, equally
+     stamped) frames. *)
+  let scan_object obj =
+    (* Grey objects are never forwarded, so the header word is the
+       field count directly. *)
+    let n = Memory.unsafe_get mem obj lsr 1 in
+    for slot = obj + 1 to obj + 1 + n do
+      let v = Memory.unsafe_get mem slot in
+      if Value.is_ref v then begin
+        incr scanned_slots;
+        let v' = forward v in
+        if v' <> v then Memory.unsafe_set mem slot v';
+        re_remember ~slot ~src:(slot lsr frame_log)
+          ~tgt:(Value.to_addr v' lsr frame_log)
+      end
+    done
+  in
+  (* Same walk for dirty-frame (card) scanning, which counts against
+     the remembered-slot statistic instead. *)
+  let card_scan_object obj =
+    let n = Memory.unsafe_get mem obj lsr 1 in
+    for slot = obj + 1 to obj + 1 + n do
+      let v = Memory.unsafe_get mem slot in
+      if Value.is_ref v then begin
+        incr remset_slots;
+        let v' = forward v in
+        if v' <> v then Memory.unsafe_set mem slot v';
+        re_remember ~slot ~src:(slot lsr frame_log)
+          ~tgt:(Value.to_addr v' lsr frame_log)
+      end
+    done
   in
 
   (match st.State.config.Config.barrier with
   | Config.Remsets ->
     (* Remembered slots targeting the plan from outside it. Snapshot
-       first: forwarding inserts new remset entries and the table must
-       not be mutated mid-iteration. *)
-    let pending_slots = Vec.create ~dummy:0 () in
-    Remset.iter_into st.State.remsets ~in_plan:frame_in_plan (fun ~slot ->
-        Vec.push pending_slots slot);
-    Vec.iter
-      (fun slot ->
-        incr remset_slots;
-        let v = Memory.get mem slot in
-        if Value.is_ref v then begin
-          let v' = forward v in
-          if v' <> v then begin
-            Memory.set mem slot v';
-            (* The slot now refers into a destination frame; re-apply
-               the barrier predicate under the new stamps. *)
-            re_remember ~slot ~src:(State.frame_of_addr st slot)
-              ~tgt:(State.frame_of_addr st (Value.to_addr v'))
-          end
-        end)
-      pending_slots
+       first (into scratch reused across collections): forwarding
+       inserts new remset entries and the table must not be mutated
+       mid-iteration. *)
+    let pending_slots = st.State.gc_slots in
+    Vec.clear pending_slots;
+    Remset.iter_into remsets
+      ~in_plan:(fun f -> Frame_table.in_plan ftab f)
+      (fun ~slot -> Vec.push pending_slots slot);
+    for k = 0 to Vec.length pending_slots - 1 do
+      let slot = Vec.get pending_slots k in
+      incr remset_slots;
+      let v = Memory.get mem slot in
+      if Value.is_ref v then begin
+        let v' = forward v in
+        if v' <> v then begin
+          Memory.set mem slot v';
+          (* The slot now refers into a destination frame; re-apply
+             the barrier predicate under the new stamps. *)
+          re_remember ~slot ~src:(slot lsr frame_log)
+            ~tgt:(Value.to_addr v' lsr frame_log)
+        end
+      end
+    done;
+    Vec.clear pending_slots
   | Config.Cards ->
     (* Card scanning: every dirty frame outside the plan may hold
        pointers into it. Scan the owning increments object by object —
@@ -184,38 +246,16 @@ let collect st plan =
        Cards are cleared first and re-marked for slots that still hold
        interesting pointers afterwards. *)
     let incs_to_scan = Hashtbl.create 16 in
-    Card_table.iter_dirty st.State.cards (fun frame ->
-        if not (frame_in_plan frame) then begin
-          Card_table.clear st.State.cards ~frame;
+    Card_table.iter_dirty cards (fun frame ->
+        if not (Frame_table.in_plan ftab frame) then begin
+          Card_table.clear cards ~frame;
           match State.inc_of_frame st frame with
           | Some inc -> Hashtbl.replace incs_to_scan inc.Increment.id inc
           | None -> ()
         end);
     Hashtbl.iter
-      (fun _ (inc : Increment.t) ->
-        Increment.iter_objects inc mem (fun obj ->
-            Object_model.iter_ref_slots mem obj (fun slot ->
-                incr remset_slots;
-                let v = Memory.get mem slot in
-                let v' = forward v in
-                if v' <> v then Memory.set mem slot v';
-                re_remember ~slot ~src:(State.frame_of_addr st slot)
-                  ~tgt:(State.frame_of_addr st (Value.to_addr v')))))
+      (fun _ (inc : Increment.t) -> Increment.iter_objects inc mem card_scan_object)
       incs_to_scan);
-
-  (* Scan one grey object: forward its outgoing references and re-apply
-     the barrier predicate under the new frame stamps. The source frame
-     is taken per slot, which also handles pinned objects spanning
-     several (contiguous, equally stamped) frames. *)
-  let scan_object obj =
-    Object_model.iter_ref_slots mem obj (fun slot ->
-        incr scanned_slots;
-        let v = Memory.get mem slot in
-        let v' = forward v in
-        if v' <> v then Memory.set mem slot v';
-        re_remember ~slot ~src:(State.frame_of_addr st slot)
-          ~tgt:(State.frame_of_addr st (Value.to_addr v')))
-  in
 
   (* Cheney drain: scan every destination's copied objects and every
      marked pinned object; scanning may copy or mark more, so iterate
@@ -229,9 +269,11 @@ let collect st plan =
     let i = ref 0 in
     while !i < Vec.length dests do
       let d = Option.get (Vec.get dests !i) in
-      while Increment.scan_pending d.inc mem d.pos do
+      let obj = ref (Increment.scan_next d.inc mem d.pos) in
+      while !obj <> Addr.null do
         progress := true;
-        scan_object (Increment.scan_step d.inc mem d.pos)
+        scan_object !obj;
+        obj := Increment.scan_next d.inc mem d.pos
       done;
       incr i
     done;
@@ -244,22 +286,28 @@ let collect st plan =
   done;
 
   (* Release the evacuated increments; marked pinned increments stay in
-     place (that is the point of the large object space). *)
+     place (that is the point of the large object space), with their
+     transient plan/mark state cleared. *)
   let pf = plan_frames plan in
   let pw = plan_words plan in
   let pi = List.length plan.increments in
   let freed_frames = ref 0 in
   List.iter
     (fun (inc : Increment.t) ->
-      if
-        not
-          (inc.Increment.pinned && Hashtbl.mem marked_pinned inc.Increment.id)
-      then begin
+      if inc.Increment.pinned && inc.Increment.gc_mark then begin
+        inc.Increment.gc_mark <- false;
+        inc.Increment.in_plan <- false;
+        Vec.iter
+          (fun f -> Frame_table.set_in_plan ftab ~frame:f false)
+          inc.Increment.frames
+      end
+      else begin
         freed_frames := !freed_frames + Increment.occupancy_frames inc;
         State.free_increment st inc
       end)
     plan.increments;
   let freed_frames = !freed_frames in
+  Vec.clear pinned_work;
 
   st.State.in_gc <- false;
   if plan.full_heap then st.State.live_est_frames <- st.State.frames_used;

@@ -4,7 +4,9 @@ exception Out_of_memory = State.Out_of_memory
 
 let stamp_boot_frames st =
   List.iter
-    (fun frame -> Frame_info.set st.State.finfo ~frame ~stamp:Frame_info.immortal_stamp ~incr:(-1))
+    (fun frame ->
+      Frame_table.set st.State.ftab ~frame ~stamp:Frame_table.immortal_stamp
+        ~incr:(-1) ~pinned:false)
     (Boot_space.frames st.State.boot)
 
 let create ?(frame_log_words = 10) ~config ~heap_bytes () =
@@ -42,13 +44,10 @@ let alloc st ~ty ~nfields =
     finish_alloc st ~ty ~nfields ~size (Increment.base_object inc st.State.mem)
   | _ ->
     let nur = Schedule.prepare_alloc st ~size in
-    let addr =
-      match Increment.try_bump nur ~size with
-      | Some a -> a
-      | None ->
-        (* prepare_alloc guarantees room; reaching here is a scheduler bug. *)
-        invalid_arg "Gc.alloc: internal error: nursery bump failed after prepare"
-    in
+    let addr = Increment.bump_or_null nur ~size in
+    if addr = Addr.null then
+      (* prepare_alloc guarantees room; reaching here is a scheduler bug. *)
+      invalid_arg "Gc.alloc: internal error: nursery bump failed after prepare";
     finish_alloc st ~ty ~nfields ~size addr
 
 let alloc_pretenured st ~ty ~nfields ~belt =
@@ -61,11 +60,9 @@ let alloc_pretenured st ~ty ~nfields ~belt =
     finish_alloc st ~ty ~nfields ~size (Increment.base_object inc st.State.mem)
   | _ ->
     let inc = Schedule.prepare_alloc_in st ~belt ~size in
-    let addr =
-      match Increment.try_bump inc ~size with
-      | Some a -> a
-      | None -> invalid_arg "Gc.alloc_pretenured: internal error: bump failed"
-    in
+    let addr = Increment.bump_or_null inc ~size in
+    if addr = Addr.null then
+      invalid_arg "Gc.alloc_pretenured: internal error: bump failed";
     finish_alloc st ~ty ~nfields ~size addr
 
 let write st obj i v =

@@ -13,6 +13,8 @@ type t = {
   bound_frames : int option;
   mutable sealed : bool;
   pinned : bool;
+  mutable in_plan : bool;
+  mutable gc_mark : bool;
 }
 
 type pos = { mutable fi : int; mutable addr : Addr.t }
@@ -31,6 +33,8 @@ let create ~id ~belt ~stamp ~bound_frames =
     bound_frames;
     sealed = false;
     pinned = false;
+    in_plan = false;
+    gc_mark = false;
   }
 
 (* A pinned (large-object-space) increment: exactly one object of
@@ -51,6 +55,8 @@ let create_pinned ~id ~belt ~stamp ~frames:frame_list mem ~size =
       bound_frames = None;
       sealed = true;
       pinned = true;
+      in_plan = false;
+      gc_mark = false;
     }
   in
   let fw = Memory.frame_words mem in
@@ -97,16 +103,21 @@ let add_frame t mem frame =
   t.cursor <- Memory.frame_base mem frame;
   t.limit <- t.cursor + Memory.frame_words mem
 
-let try_bump t ~size =
-  if t.sealed then None
-  else if t.cursor <> Addr.null && t.cursor + size <= t.limit then begin
+(* The collector's and allocator's bump path: [Addr.null] for "does not
+   fit" keeps it allocation-free (no [option] cell per object). *)
+let[@inline] bump_or_null t ~size =
+  if (not t.sealed) && t.cursor <> Addr.null && t.cursor + size <= t.limit then begin
     let addr = t.cursor in
     t.cursor <- t.cursor + size;
     t.words_used <- t.words_used + size;
     t.objects <- t.objects + 1;
-    Some addr
+    addr
   end
-  else None
+  else Addr.null
+
+let try_bump t ~size =
+  let addr = bump_or_null t ~size in
+  if addr = Addr.null then None else Some addr
 
 let seal t = t.sealed <- true
 
@@ -162,6 +173,24 @@ let scan_step t mem pos =
   pos.addr <- pos.addr + size;
   normalise t mem pos;
   addr
+
+(* [scan_pending] + [scan_step] fused: one normalisation per object
+   instead of three (the Cheney drain calls this per copied object).
+   The object's size comes straight off its header word — objects in a
+   destination increment are never forwarded, and the increment's
+   frames are live, so the unchecked load is sound. *)
+let scan_next t mem pos =
+  if t.pinned || frame_count t = 0 then Addr.null
+  else begin
+    normalise t mem pos;
+    if pos.fi < frame_count t - 1 || pos.addr < t.cursor then begin
+      let addr = pos.addr in
+      pos.addr <-
+        addr + (Memory.unsafe_get mem addr lsr 1) + Object_model.header_words;
+      addr
+    end
+    else Addr.null
+  end
 
 let iter_objects t mem f =
   if t.pinned then f (base_object t mem)

@@ -23,6 +23,13 @@ type t = {
   pinned : bool;
       (* a large-object-space increment: exactly one object, never
          copied; reclaimed whole when unreachable *)
+  mutable in_plan : bool;
+      (* member of the plan currently being collected; lets the
+         collector and [State.open_inc] test plan membership without a
+         hashtable. Always false outside a collection. *)
+  mutable gc_mark : bool;
+      (* transient per-collection mark (pinned increment reached, or
+         queued for a card scan). Always false outside a collection. *)
 }
 
 type pos
@@ -68,6 +75,11 @@ val try_bump : t -> size:int -> Addr.t option
     does not fit (caller decides whether to extend or collect). The
     returned address is uninitialised (zeroed) memory. *)
 
+val bump_or_null : t -> size:int -> Addr.t
+(** {!try_bump} without the [option] cell: [Addr.null] when the
+    allocation does not fit. The allocation-free form the collector's
+    copy loop and the mutator allocation path use. *)
+
 val seal : t -> unit
 (** Close to further allocation (nursery handoff for the time-to-die
     trigger; plan membership seals too). *)
@@ -86,6 +98,12 @@ val scan_pending : t -> Memory.t -> pos -> bool
 val scan_step : t -> Memory.t -> pos -> Addr.t
 (** Object address at [pos], advancing [pos] past it.
     @raise Invalid_argument if nothing is pending. *)
+
+val scan_next : t -> Memory.t -> pos -> Addr.t
+(** {!scan_pending} and {!scan_step} in one call: the next object
+    address (advancing [pos] past it), or [Addr.null] when the scan has
+    reached the frontier. Normalises [pos] once per object, where the
+    pending/step pair normalises three times. *)
 
 val iter_objects : t -> Memory.t -> (Addr.t -> unit) -> unit
 (** Walk every object currently in the increment from the beginning.

@@ -229,7 +229,7 @@ let prepare_alloc_in st ~belt ~size =
              (Printf.sprintf "nothing collectible for a pretenured %d-word allocation"
                 size))
     in
-    let inc = State.open_inc st ~belt ~in_plan:(fun _ -> false) in
+    let inc = State.open_inc st ~belt in
     if
       (not inc.Increment.sealed)
       && inc.Increment.cursor <> Addr.null

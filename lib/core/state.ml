@@ -5,7 +5,7 @@ type t = {
   boot : Boot_space.t;
   types : Type_registry.t;
   roots : Roots.t;
-  finfo : Frame_info.t;
+  ftab : Frame_table.t;
   config : Config.t;
   heap_frames : int;
   belts : Belt.t array;
@@ -14,6 +14,9 @@ type t = {
   cards : Card_table.t;
   stats : Gc_stats.t;
   incs_by_id : (int, Increment.t) Hashtbl.t;
+  mutable inc_by_id : Increment.t option array;
+  gc_slots : int Beltway_util.Vec.t;
+  gc_pinned : Increment.t Beltway_util.Vec.t;
   mutable frames_used : int;
   mutable next_inc_id : int;
   mutable seq : int;
@@ -40,7 +43,7 @@ let create ~config ~heap_frames ~frame_log_words =
   in
   let boot = Boot_space.create mem in
   let types = Type_registry.create mem boot in
-  let finfo = Frame_info.create () in
+  let ftab = Frame_table.create () in
   let regular = Array.length config.Config.belts in
   (* The large object space, when enabled, is one extra belt above all
      configured belts: its pinned increments carry the highest stamps,
@@ -59,7 +62,7 @@ let create ~config ~heap_frames ~frame_log_words =
     boot;
     types;
     roots = Roots.create ();
-    finfo;
+    ftab;
     config;
     heap_frames;
     belts;
@@ -68,6 +71,12 @@ let create ~config ~heap_frames ~frame_log_words =
     cards = Card_table.create ();
     stats = Gc_stats.create ();
     incs_by_id = Hashtbl.create 64;
+    inc_by_id = Array.make 64 None;
+    gc_slots = Beltway_util.Vec.create ~dummy:0 ();
+    gc_pinned =
+      Beltway_util.Vec.create
+        ~dummy:(Increment.create ~id:(-1) ~belt:0 ~stamp:0 ~bound_frames:None)
+        ();
     frames_used = 0;
     next_inc_id = 0;
     seq = 0;
@@ -90,9 +99,21 @@ let stamp_for_belt t belt =
     | Config.Belt_major -> belt
     | Config.Epoch -> t.epoch + belt
   in
-  let s = (priority * Frame_info.priority_unit) + t.seq in
+  let s = (priority * Frame_table.priority_unit) + t.seq in
   t.seq <- t.seq + 1;
   s
+
+(* The id -> increment array mirrors [incs_by_id] so the collector's
+   forward path resolves an id with an array read, not a hash probe. *)
+let register_inc t id inc =
+  let cap = Array.length t.inc_by_id in
+  if id >= cap then begin
+    let arr = Array.make (max (id + 1) (cap * 2)) None in
+    Array.blit t.inc_by_id 0 arr 0 cap;
+    t.inc_by_id <- arr
+  end;
+  t.inc_by_id.(id) <- Some inc;
+  Hashtbl.replace t.incs_by_id id inc
 
 let new_increment t ~belt =
   let id = t.next_inc_id in
@@ -102,7 +123,7 @@ let new_increment t ~belt =
       ~stamp:(stamp_for_belt t belt)
       ~bound_frames:t.belt_bounds.(belt)
   in
-  Hashtbl.replace t.incs_by_id id inc;
+  register_inc t id inc;
   Belt.push_back t.belts.(belt) inc;
   inc
 
@@ -119,14 +140,15 @@ let grant_frame t inc ~during_gc =
   t.stats.Gc_stats.frames_allocated <- t.stats.Gc_stats.frames_allocated + 1;
   if t.frames_used > t.stats.Gc_stats.peak_frames then
     t.stats.Gc_stats.peak_frames <- t.frames_used;
-  Frame_info.set t.finfo ~frame ~stamp:inc.Increment.stamp ~incr:inc.Increment.id;
+  Frame_table.set t.ftab ~frame ~stamp:inc.Increment.stamp ~incr:inc.Increment.id
+    ~pinned:false;
   Increment.add_frame inc t.mem frame
 
-let open_inc t ~belt ~in_plan =
+let open_inc t ~belt =
   match Belt.back t.belts.(belt) with
   | Some inc
     when (not inc.Increment.sealed) && (not (Increment.at_bound inc))
-         && not (in_plan inc) ->
+         && not inc.Increment.in_plan ->
     inc
   | _ -> new_increment t ~belt
 
@@ -135,23 +157,29 @@ let free_increment t inc =
     (fun frame ->
       Remset.drop_frame t.remsets frame;
       Card_table.clear t.cards ~frame;
-      Frame_info.clear t.finfo ~frame;
+      Frame_table.clear t.ftab ~frame;
       Memory.free_frame t.mem frame;
       t.frames_used <- t.frames_used - 1)
     inc.Increment.frames;
   Belt.remove t.belts.(inc.Increment.belt) inc;
-  Hashtbl.remove t.incs_by_id inc.Increment.id
+  Hashtbl.remove t.incs_by_id inc.Increment.id;
+  t.inc_by_id.(inc.Increment.id) <- None
 
 let inc_of_frame t frame =
-  let id = Frame_info.incr_of t.finfo frame in
-  if id < 0 then None else Hashtbl.find_opt t.incs_by_id id
+  let id = Frame_table.incr_of t.ftab frame in
+  if id < 0 then None else t.inc_by_id.(id)
 
 let live_increments t =
-  Array.to_list t.belts
-  |> List.concat_map (fun b -> Belt.fold b ~init:[] ~f:(fun acc i -> i :: acc) |> List.rev)
+  (* Front-to-back per belt, belts in index order: built back-to-front
+     with direct conses — no intermediate per-belt lists. *)
+  let acc = ref [] in
+  for bi = Array.length t.belts - 1 downto 0 do
+    acc := Belt.fold_right t.belts.(bi) ~init:!acc ~f:(fun i tail -> i :: tail)
+  done;
+  !acc
 
 let frame_of_addr t a = Memory.addr_frame t.mem a
-let stamp_of_addr t a = Frame_info.stamp t.finfo (frame_of_addr t a)
+let stamp_of_addr t a = Frame_table.stamp t.ftab (frame_of_addr t a)
 
 let regular_belts t = Array.length t.config.Config.belts
 
@@ -180,8 +208,10 @@ let new_pinned_increment t ~size =
   t.next_inc_id <- id + 1;
   let stamp = stamp_for_belt t belt in
   let inc = Increment.create_pinned ~id ~belt ~stamp ~frames t.mem ~size in
-  List.iter (fun frame -> Frame_info.set t.finfo ~frame ~stamp ~incr:id) frames;
-  Hashtbl.replace t.incs_by_id id inc;
+  List.iter
+    (fun frame -> Frame_table.set t.ftab ~frame ~stamp ~incr:id ~pinned:true)
+    frames;
+  register_inc t id inc;
   Belt.push_back t.belts.(belt) inc;
   inc
 

@@ -17,7 +17,7 @@ type t = {
   boot : Boot_space.t;
   types : Type_registry.t;
   roots : Roots.t;
-  finfo : Frame_info.t;
+  ftab : Frame_table.t; (** flat per-frame stamps + packed GC metadata *)
   config : Config.t;
   heap_frames : int; (** collector-owned frame budget *)
   belts : Belt.t array;
@@ -26,6 +26,14 @@ type t = {
   cards : Card_table.t; (** used when the configuration selects [Cards] *)
   stats : Gc_stats.t;
   incs_by_id : (int, Increment.t) Hashtbl.t;
+  mutable inc_by_id : Increment.t option array;
+      (** mirror of [incs_by_id]: id -> increment as a grow-on-demand
+          array, so the collection fast path resolves an increment id
+          with an array read instead of a hash probe *)
+  gc_slots : int Beltway_util.Vec.t;
+      (** reused scratch for the collector's remembered-slot snapshot *)
+  gc_pinned : Increment.t Beltway_util.Vec.t;
+      (** reused scratch for the collector's pinned grey set *)
   mutable frames_used : int;
   mutable next_inc_id : int;
   mutable seq : int; (** stamp sequence counter *)
@@ -64,9 +72,10 @@ val grant_frame : t -> Increment.t -> during_gc:bool -> unit
     means the copy reserve was insufficient despite padding, i.e. the
     heap is simply too small). *)
 
-val open_inc : t -> belt:int -> in_plan:(Increment.t -> bool) -> Increment.t
+val open_inc : t -> belt:int -> Increment.t
 (** The back increment of the belt if it can still receive objects and
-    is not in the current plan; otherwise a fresh increment. *)
+    is not in the current plan (its [in_plan] flag); otherwise a fresh
+    increment. *)
 
 val free_increment : t -> Increment.t -> unit
 (** Release a collected increment: frames returned, frame metadata and

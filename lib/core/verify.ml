@@ -58,9 +58,9 @@ let check_frames st =
       Beltway_util.Vec.fold
         (fun acc frame ->
           let* () = acc in
-          if Frame_info.incr_of st.State.finfo frame <> inc.Increment.id then
+          if Frame_table.incr_of st.State.ftab frame <> inc.Increment.id then
             err "frame %d not attributed to its increment %d" frame inc.Increment.id
-          else if Frame_info.stamp st.State.finfo frame <> inc.Increment.stamp then
+          else if Frame_table.stamp st.State.ftab frame <> inc.Increment.stamp then
             err "frame %d stamp disagrees with increment %d" frame inc.Increment.id
           else Ok ())
         (Ok ()) inc.Increment.frames)
@@ -113,9 +113,9 @@ let check_objects_and_remsets gc =
                                  "unremembered interesting pointer: slot %#x (frame \
                                   %d, stamp %d) -> %#x (frame %d, stamp %d)"
                                  slot s
-                                 (Frame_info.stamp st.State.finfo s)
+                                 (Frame_table.stamp st.State.ftab s)
                                  tgt t
-                                 (Frame_info.stamp st.State.finfo t)
+                                 (Frame_table.stamp st.State.ftab t)
                          end)
                      end)
              end)

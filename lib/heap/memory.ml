@@ -177,6 +177,13 @@ let[@inline] check_addr t a name =
 let[@inline] unsafe_get t a = A1.unsafe_get t.flat a
 let[@inline] unsafe_set t a v = A1.unsafe_set t.flat a v
 
+let unsafe_blit t ~src ~dst ~len =
+  if len <= 16 then
+    for i = 0 to len - 1 do
+      A1.unsafe_set t.flat (dst + i) (A1.unsafe_get t.flat (src + i))
+    done
+  else A1.blit (A1.sub t.flat src len) (A1.sub t.flat dst len)
+
 let[@inline] get t a =
   if checks_enabled then check_addr t a "get";
   A1.unsafe_get t.flat a

@@ -86,6 +86,10 @@ val unsafe_get : t -> Addr.t -> int
 val unsafe_set : t -> Addr.t -> int -> unit
 (** {!set} without the liveness check. *)
 
+val unsafe_blit : t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+(** {!blit} without the range checks ([len] must be non-negative and
+    both ranges within live frames). *)
+
 val blit : t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
 (** Block move of [len] words, as one backing-store blit rather than
     per-word {!get}/{!set} round trips. Each of the source and

@@ -5,6 +5,7 @@ let () =
       ("heap", Test_heap.suite);
       ("config", Test_config.suite);
       ("core", Test_core.suite);
+      ("frame table", Test_frame_table.suite);
       ("schedule", Test_schedule.suite);
       ("gc", Test_gc.suite);
       ("los", Test_los.suite);

@@ -87,6 +87,33 @@ let test_cards_vs_remsets_same_results () =
   in
   checkb "same allocation and live data" true (run "25.25.100" = run "25.25.100+cards")
 
+let test_cross_barrier_determinism () =
+  (* The barrier mode changes when collection work happens, never what
+     the mutator computes: the same random workload under remsets and
+     under cards must leave both heaps Verify-clean with identical
+     reachable-object counts and live data. *)
+  for seed = 20 to 25 do
+    let tr = Beltway_workload.Trace.random ~seed ~nroots:8 ~len:3000 in
+    let run cs =
+      let gc = gc_of ~heap_kb:256 cs in
+      (match Beltway_workload.Trace.compare_with_mirror gc tr with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d under %s: %s" seed cs e);
+      (match Beltway.Verify.check gc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d under %s: integrity: %s" seed cs e);
+      (Hashtbl.length (Beltway.Oracle.reachable gc), Beltway.Oracle.live_words gc)
+    in
+    let remset_counts = run "25.25.100" in
+    let card_counts = run "25.25.100+cards" in
+    checki
+      (Printf.sprintf "seed %d: reachable objects agree across barriers" seed)
+      (fst remset_counts) (fst card_counts);
+    checki
+      (Printf.sprintf "seed %d: live words agree across barriers" seed)
+      (snd remset_counts) (snd card_counts)
+  done
+
 let test_cards_scan_work_is_nonzero () =
   let gc = gc_of "25.25.100+cards" in
   let ty = Gc.register_type gc ~name:"t" in
@@ -123,6 +150,7 @@ let suite =
     ("survival through card scans", `Quick, test_cards_survival);
     ("differential with cards", `Quick, test_cards_differential);
     ("cards vs remsets equivalence", `Slow, test_cards_vs_remsets_same_results);
+    ("cross-barrier determinism", `Quick, test_cross_barrier_determinism);
     ("card scan work", `Quick, test_cards_scan_work_is_nonzero);
     ("parse", `Quick, test_parse);
   ]

@@ -208,9 +208,9 @@ let test_barrier_unidirectional () =
   let gc = gc_of "25.25.100" 256 in
   let st = Gc.state gc in
   (* fabricate two frames with ordered stamps *)
-  let fi = st.State.finfo in
-  Frame_info.set fi ~frame:40 ~stamp:100 ~incr:0;
-  Frame_info.set fi ~frame:41 ~stamp:200 ~incr:1;
+  let ft = st.State.ftab in
+  Beltway.Frame_table.set ft ~frame:40 ~stamp:100 ~incr:0 ~pinned:false;
+  Beltway.Frame_table.set ft ~frame:41 ~stamp:200 ~incr:1 ~pinned:false;
   checkb "young->old remembered (old collected later? no)" false
     (Beltway.Write_barrier.would_remember st ~src_frame:40 ~tgt_frame:41);
   checkb "old->young remembered" true
