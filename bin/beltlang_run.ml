@@ -1,7 +1,30 @@
 (* beltlang: run a Beltlang program (from a file or the bundled suite)
    on a simulated heap under any Beltway collector configuration. *)
 
-let run config_str heap_kb source_file builtin list_programs show_stats =
+let sanitizer_level = function
+  | None -> Beltway_check.Sanitizer.env_level ()
+  | Some n -> (
+    match Beltway_check.Sanitizer.level_of_int n with
+    | Some l -> l
+    | None ->
+      Printf.eprintf "error: --sanitize takes 0, 1 or 2 (got %d)\n" n;
+      exit 2)
+
+let lint source =
+  match Beltlang.Sexp.parse_string source with
+  | exception Beltlang.Sexp.Parse_error e ->
+    Printf.eprintf "syntax error: %s\n" e;
+    exit 2
+  | forms ->
+    let diags = Beltlang.Analysis.analyze forms in
+    List.iter (fun d -> Format.printf "%a@." Beltlang.Analysis.pp_diag d) diags;
+    let errors = Beltlang.Analysis.errors diags in
+    Format.printf "lint: %d error(s), %d warning(s)@." errors
+      (Beltlang.Analysis.warnings diags);
+    exit (if errors > 0 then 1 else 0)
+
+let run config_str heap_kb source_file builtin list_programs show_stats
+    verify_heap sanitize lint_only =
   if list_programs then begin
     List.iter
       (fun (p : Beltlang.Programs.t) ->
@@ -31,7 +54,9 @@ let run config_str heap_kb source_file builtin list_programs show_stats =
         Printf.eprintf "error: give a FILE or --program NAME (see --list)\n";
         exit 2
     in
+    if lint_only then lint source;
     let gc = Beltway.Gc.create ~config ~heap_bytes:(heap_kb * 1024) () in
+    let san = Beltway_check.Sanitizer.attach ~level:(sanitizer_level sanitize) gc in
     let interp = Beltlang.Interp.create gc in
     let status =
       try
@@ -52,6 +77,22 @@ let run config_str heap_kb source_file builtin list_programs show_stats =
     if show_stats then
       Format.eprintf "[gc %a] %a@." Beltway.Config.pp config Beltway.Gc_stats.pp_summary
         (Beltway.Gc.stats gc);
+    (* Integrity reporting only makes sense for completed runs (an OOM
+       can abort mid-collection, leaving forwarding pointers behind). *)
+    if status = 0 then begin
+      if verify_heap then begin
+        match Beltway.Verify.check gc with
+        | Ok () -> Format.printf "heap integrity: OK@."
+        | Error e ->
+          Format.printf "heap integrity: FAILED: %s@." e;
+          exit 1
+      end;
+      if Beltway_check.Sanitizer.enabled san then begin
+        Beltway_check.Sanitizer.check_now san;
+        Format.printf "%a" Beltway_check.Sanitizer.report san;
+        if not (Beltway_check.Sanitizer.ok san) then exit 1
+      end
+    end;
     exit status
 
 open Cmdliner
@@ -80,10 +121,35 @@ let stats_arg =
   let doc = "Print collector statistics to stderr." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let verify_arg =
+  let doc = "Run the full heap-integrity checker after the program completes." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let sanitize_arg =
+  let doc =
+    "Run under the differential heap sanitizer: 1 = shadow-heap diff at every \
+     collection, 2 = also full integrity verification (default when the level \
+     is omitted). Overrides $(b,BELTWAY_SANITIZE)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some 2) (some int) None
+    & info [ "sanitize" ] ~docv:"LEVEL" ~doc)
+
+let lint_arg =
+  let doc =
+    "Static analysis only (no execution): scope and arity errors, \
+     unreachable-code and unused-binding warnings, allocation-site \
+     pretenuring notes. Exit 1 if any error is found."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
 let cmd =
   let doc = "run a Beltlang program on a Beltway-collected heap" in
   Cmd.v
     (Cmd.info "beltlang" ~doc)
-    Term.(const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg $ stats_arg)
+    Term.(
+      const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg
+      $ stats_arg $ verify_arg $ sanitize_arg $ lint_arg)
 
 let () = Cmd.eval cmd |> exit

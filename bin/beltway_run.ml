@@ -3,7 +3,23 @@
    a GC on the Jikes RVM command line (the paper's headline interface:
    "Beltway configurations, selected by command line options"). *)
 
-let run config_str bench_name heap_kb verify_heap quiet dump =
+let sanitizer_level = function
+  | None -> Beltway_check.Sanitizer.env_level ()
+  | Some n -> (
+    match Beltway_check.Sanitizer.level_of_int n with
+    | Some l -> l
+    | None ->
+      Printf.eprintf "error: --sanitize takes 0, 1 or 2 (got %d)\n" n;
+      exit 2)
+
+let sanitizer_report san =
+  if Beltway_check.Sanitizer.enabled san then begin
+    Beltway_check.Sanitizer.check_now san;
+    Format.printf "%a" Beltway_check.Sanitizer.report san;
+    if not (Beltway_check.Sanitizer.ok san) then exit 1
+  end
+
+let run config_str bench_name heap_kb verify_heap quiet dump sanitize =
   match Beltway.Config.parse config_str with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
@@ -20,6 +36,7 @@ let run config_str bench_name heap_kb verify_heap quiet dump =
         Beltway.Gc.create ~frame_log_words:Beltway_sim.Runner.frame_log_words ~config
           ~heap_bytes:(heap_kb * 1024) ()
       in
+      let san = Beltway_check.Sanitizer.attach ~level:(sanitizer_level sanitize) gc in
       let t0 = Unix.gettimeofday () in
       let outcome =
         try
@@ -57,7 +74,8 @@ let run config_str bench_name heap_kb verify_heap quiet dump =
           | Error e ->
             Format.printf "heap integrity: FAILED: %s@." e;
             exit 1
-        end
+        end;
+        sanitizer_report san
       | Error m ->
         Format.printf "OUT OF MEMORY after %d collections: %s@."
           (Beltway.Gc_stats.gcs stats) m;
@@ -92,10 +110,23 @@ let dump_arg =
   let doc = "Print the final belt/increment structure." in
   Arg.(value & flag & info [ "dump" ] ~doc)
 
+let sanitize_arg =
+  let doc =
+    "Run under the differential heap sanitizer: 1 = shadow-heap diff at every \
+     collection, 2 = also full integrity verification (default when the level \
+     is omitted). Overrides $(b,BELTWAY_SANITIZE)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some 2) (some int) None
+    & info [ "sanitize" ] ~docv:"LEVEL" ~doc)
+
 let cmd =
   let doc = "run a synthetic benchmark under a Beltway collector configuration" in
   Cmd.v
     (Cmd.info "beltway-run" ~doc)
-    Term.(const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg $ dump_arg)
+    Term.(
+      const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg
+      $ dump_arg $ sanitize_arg)
 
 let () = exit (Cmd.eval cmd)

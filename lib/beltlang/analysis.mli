@@ -1,0 +1,40 @@
+(** Static analysis for Beltlang: the [--lint] pass.
+
+    Three families of diagnostics over the raw s-expressions (the
+    compiler stops at the first error; the analyser keeps going and
+    reports everything):
+
+    - {e errors}: unbound variables, [set!] of unbound names, arity
+      mismatches against primitives and top-level definitions,
+      malformed special forms — everything the resolver or interpreter
+      would reject, found without running the program;
+    - {e warnings}: unreachable code (branches and loop bodies guarded
+      by constant conditions under Beltlang truthiness, dead tails of
+      [and]/[or]), unused [let] bindings, parameters and globals;
+    - {e notes}: allocation-site lifetime classification. A [cons],
+      [make-vector], [lambda] or quoted list whose value is stored
+      into a global, or into an existing heap structure via
+      [set-car!]/[set-cdr!]/[vector-set!], escapes its creating scope
+      and is a candidate for pretenured allocation on belt >= 1 (paper
+      §5); allocations that stay local are best left to the nursery.
+
+    Scoping mirrors [Ast.compile] exactly: top-level [define]s are
+    pre-declared (mutual recursion), [let] is non-recursive, and a
+    primitive name is a primitive only where no binding shadows it. *)
+
+type severity = Error | Warning | Note
+
+type diag = { severity : severity; code : string; message : string }
+(** [code] is a stable kebab-case class: [unbound-var], [bad-arity],
+    [bad-form], [unreachable], [constant-loop], [unused-binding],
+    [unused-param], [unused-global], [pretenure], [alloc-summary]. *)
+
+val analyze : Sexp.t list -> diag list
+(** All diagnostics for a program, in traversal order (unused-global
+    warnings and the allocation summary last). Never raises. *)
+
+val errors : diag list -> int
+val warnings : diag list -> int
+
+val pp_diag : Format.formatter -> diag -> unit
+(** [lint: <severity> [<code>] <message>]. *)

@@ -62,3 +62,7 @@ val compile : ?initial_globals:string list -> Sexp.t list -> program
     arity errors for primitives. *)
 
 val prim_name : prim -> string
+
+val prims : (string * (prim * int)) list
+(** Primitive name -> (operator, arity) — the resolver's table, shared
+    with the static-analysis pass so the two cannot drift. *)

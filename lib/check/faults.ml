@@ -1,0 +1,127 @@
+module State = Beltway.State
+module Gc = Beltway.Gc
+
+type fault =
+  | Skipped_barrier
+  | Dropped_remset
+  | Corrupted_header
+  | Premature_free
+  | Undersized_reserve
+
+let all =
+  [ Skipped_barrier; Dropped_remset; Corrupted_header; Premature_free;
+    Undersized_reserve ]
+
+let name = function
+  | Skipped_barrier -> "skipped-barrier"
+  | Dropped_remset -> "dropped-remset"
+  | Corrupted_header -> "corrupted-header"
+  | Premature_free -> "premature-free"
+  | Undersized_reserve -> "undersized-reserve"
+
+(* A small generational heap: 25.25.100, 1 KiB frames, 512 KiB. *)
+let setup ~level =
+  let config = Result.get_ok (Beltway.Config.parse "25.25.100") in
+  let gc = Gc.create ~frame_log_words:8 ~config ~heap_bytes:(512 * 1024) () in
+  let san = Sanitizer.attach ~level gc in
+  let ty = Gc.register_type gc ~name:"faults.node" in
+  (gc, san, ty)
+
+(* An old object (promoted off the nursery by a full collection) and a
+   young one, both rooted. Returns their current addresses. *)
+let old_and_young gc ty =
+  let roots = Gc.roots gc in
+  let a = Gc.alloc gc ~ty ~nfields:4 in
+  let ga = Roots.new_global roots (Value.of_addr a) in
+  Gc.full_collect gc;
+  let b = Gc.alloc gc ~ty ~nfields:2 in
+  let gb = Roots.new_global roots (Value.of_addr b) in
+  let a = Value.to_addr (Roots.get_global roots ga) in
+  (a, b, ga, gb)
+
+let result_of san ~after =
+  match Sanitizer.violations san with
+  | v :: _ -> Ok v
+  | [] -> Error (Printf.sprintf "sanitizer stayed silent after %s" after)
+
+let precheck san =
+  Sanitizer.check_now san;
+  match Sanitizer.violations san with
+  | [] -> Ok ()
+  | v :: _ -> Error (Printf.sprintf "false positive before injection: %s" v)
+
+let ( let* ) = Result.bind
+
+(* Store old->young bypassing the barrier: the write itself lands (and
+   the shadow is told, as it would be in a runtime whose barrier was
+   miscompiled) but no remset entry exists. *)
+let skipped_barrier () =
+  let gc, san, ty = setup ~level:Sanitizer.Paranoid in
+  let a, b, _, _ = old_and_young gc ty in
+  let* () = precheck san in
+  let st = Gc.state gc in
+  Object_model.set_field st.State.mem a 0 (Value.of_addr b);
+  Sanitizer.note_write san ~obj:a ~field:0 ~value:(Value.of_addr b);
+  Sanitizer.check_now san;
+  result_of san ~after:"an unrecorded old-to-young pointer store"
+
+(* Record the pointer correctly, then lose the remset entry, then let a
+   real nursery collection run: the slot is never forwarded and ends up
+   pointing at the young object's pre-move address. *)
+let dropped_remset () =
+  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let a, b, _, _ = old_and_young gc ty in
+  Gc.write gc a 0 (Value.of_addr b);
+  (* Pad the nursery past min-useful size so the forced collection
+     below targets it (and only it). *)
+  for _ = 1 to 200 do
+    ignore (Gc.alloc gc ~ty ~nfields:4)
+  done;
+  let* () = precheck san in
+  let st = Gc.state gc in
+  let slot_frame = State.frame_of_addr st (Object_model.field_addr a 0) in
+  Beltway.Remset.drop_frame st.State.remsets slot_frame;
+  Gc.collect gc;
+  (* The sanitizer diffs at every collection; the stale slot in [a] is
+     already on record. *)
+  result_of san ~after:"a dropped remset entry and a nursery collection"
+
+let corrupted_header () =
+  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let roots = Gc.roots gc in
+  let c = Gc.alloc gc ~ty ~nfields:3 in
+  ignore (Roots.new_global roots (Value.of_addr c));
+  let* () = precheck san in
+  let st = Gc.state gc in
+  Memory.set st.State.mem c (1000 lsl 1);
+  Sanitizer.check_now san;
+  result_of san ~after:"rewriting an object's header word"
+
+let premature_free () =
+  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let roots = Gc.roots gc in
+  let d = Gc.alloc gc ~ty ~nfields:3 in
+  ignore (Roots.new_global roots (Value.of_addr d));
+  let* () = precheck san in
+  let st = Gc.state gc in
+  Memory.free_frame st.State.mem (State.frame_of_addr st d);
+  Sanitizer.check_now san;
+  result_of san ~after:"freeing the frame under a live object"
+
+(* Understate the frames in use: exactly the accounting slip that lets
+   the schedule admit an allocation the copy reserve cannot cover. *)
+let undersized_reserve () =
+  let gc, san, ty = setup ~level:Sanitizer.Paranoid in
+  let _ = old_and_young gc ty in
+  let* () = precheck san in
+  let st = Gc.state gc in
+  st.State.frames_used <- st.State.frames_used - 1;
+  Sanitizer.check_now san;
+  result_of san ~after:"understating the frame budget in use"
+
+let inject = function
+  | Skipped_barrier -> skipped_barrier ()
+  | Dropped_remset -> dropped_remset ()
+  | Corrupted_header -> corrupted_header ()
+  | Premature_free -> premature_free ()
+  | Undersized_reserve -> undersized_reserve ()

@@ -1,0 +1,36 @@
+(** Fault injection: mutation-testing the sanitizer itself.
+
+    Each fault seeds one defect class a Beltway implementation can
+    suffer, into an otherwise healthy heap with a sanitizer attached,
+    and reports whether the sanitizer flagged it. A checker that has
+    never been shown to catch a bug is folklore; this harness is the
+    evidence. Each injection first asserts the pre-injection heap is
+    clean, so a detection cannot be a latent false positive. *)
+
+type fault =
+  | Skipped_barrier
+      (** a pointer store whose write-barrier record was omitted
+          (paper §3.3.2 completeness) — caught by [Verify]'s remset
+          sufficiency check at level [Paranoid] *)
+  | Dropped_remset
+      (** a correctly recorded remset entry lost before the next
+          collection — the slot misses forwarding, caught by the
+          shadow diff as a stale reference after the collection *)
+  | Corrupted_header
+      (** an object's header word rewritten — caught by the shadow
+          diff's field-count comparison *)
+  | Premature_free
+      (** a frame holding a live object returned to the memory
+          substrate — caught by the shadow diff as a lost object *)
+  | Undersized_reserve
+      (** copy-reserve/frame accounting understating the frames in
+          use, the precursor to reserve exhaustion (paper §3.3.4) —
+          caught by [Verify]'s accounting check at level [Paranoid] *)
+
+val all : fault list
+val name : fault -> string
+
+val inject : fault -> (string, string) result
+(** Run the injection on a fresh heap. [Ok msg]: the sanitizer flagged
+    the fault; [msg] is its first violation. [Error why]: it stayed
+    silent (or reported before the injection — a false positive). *)

@@ -1,0 +1,111 @@
+module State = Beltway.State
+
+type level = Off | Shadow | Paranoid
+
+let level_of_int = function
+  | 0 -> Some Off
+  | 1 -> Some Shadow
+  | 2 -> Some Paranoid
+  | _ -> None
+
+let env_level () =
+  match Sys.getenv_opt "BELTWAY_SANITIZE" with
+  | Some ("1" | "shadow" | "on") -> Shadow
+  | Some ("2" | "paranoid" | "full") -> Paranoid
+  | Some _ | None -> Off
+
+type t = {
+  gc : Beltway.Gc.t;
+  level : level;
+  shadow : Shadow.t;
+  mutable violations : string list; (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable collections : int;
+  mutable hooks : State.hooks option;
+}
+
+let max_violations = 32
+
+let record t msg =
+  if t.count < max_violations then begin
+    t.violations <- msg :: t.violations;
+    t.count <- t.count + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let check_now t =
+  if t.level <> Off then begin
+    Shadow.diff t.shadow ~violation:(record t);
+    if t.level = Paranoid then begin
+      match Beltway.Verify.check t.gc with
+      | Ok () -> ()
+      | Error e -> record t ("verify: " ^ e)
+    end
+  end
+
+let attach ?level gc =
+  let level = match level with Some l -> l | None -> env_level () in
+  let t =
+    {
+      gc;
+      level;
+      shadow = Shadow.create gc;
+      violations = [];
+      count = 0;
+      dropped = 0;
+      collections = 0;
+      hooks = None;
+    }
+  in
+  if level <> Off then begin
+    let hooks =
+      {
+        State.on_alloc =
+          (fun ~addr ~tib ~nfields -> Shadow.note_alloc t.shadow ~addr ~tib ~nfields);
+        on_write =
+          (fun ~obj ~field ~value ->
+            Shadow.note_write t.shadow ~obj ~field ~value ~violation:(record t));
+        on_move =
+          (fun ~src ~dst -> Shadow.note_move t.shadow ~src ~dst ~violation:(record t));
+        on_collect_start = (fun ~reason:_ -> ());
+        on_collect_end =
+          (fun ~full_heap:_ ->
+            t.collections <- t.collections + 1;
+            check_now t);
+      }
+    in
+    State.add_hooks (Beltway.Gc.state gc) hooks;
+    t.hooks <- Some hooks
+  end;
+  t
+
+let detach t =
+  match t.hooks with
+  | None -> ()
+  | Some h ->
+    State.remove_hooks (Beltway.Gc.state t.gc) h;
+    t.hooks <- None
+
+let level t = t.level
+let enabled t = t.level <> Off
+
+let note_write t ~obj ~field ~value =
+  if t.level <> Off then
+    Shadow.note_write t.shadow ~obj ~field ~value ~violation:(record t)
+
+let violations t = List.rev t.violations
+let dropped t = t.dropped
+let ok t = t.count = 0
+let collections_checked t = t.collections
+let tracked t = Shadow.tracked t.shadow
+
+let report fmt t =
+  List.iter (fun v -> Format.fprintf fmt "sanitizer: %s@." v) (violations t);
+  if t.dropped > 0 then
+    Format.fprintf fmt "sanitizer: (%d further violations suppressed)@." t.dropped;
+  if ok t then
+    Format.fprintf fmt "sanitizer: OK@."
+  else
+    Format.fprintf fmt "sanitizer: FAILED (%d violations)@."
+      (t.count + t.dropped)

@@ -1,0 +1,59 @@
+(** The differential heap sanitizer: shadow-heap maintenance, scheduled
+    diffs, and violation reporting.
+
+    Attach one sanitizer per heap, before the first allocation. At
+    every completed collection the shadow is diffed against the real
+    heap ({!Shadow.diff}); at level {!Paranoid} the snapshot invariant
+    checker ([Beltway.Verify.check]) runs there too, catching the
+    defect classes that need belt/remset context the shadow does not
+    model (remset sufficiency, FIFO order, frame accounting).
+
+    Selection: [BELTWAY_SANITIZE=0|1|2] in the environment, or
+    [--sanitize [N]] on the CLIs (which overrides the environment). *)
+
+type level =
+  | Off  (** no hooks installed; every call is a no-op *)
+  | Shadow  (** shadow-heap diff at every collection *)
+  | Paranoid  (** [Shadow] + full [Verify.check] at every collection *)
+
+val level_of_int : int -> level option
+(** [0], [1], [2]; anything else is [None]. *)
+
+val env_level : unit -> level
+(** Level requested by [BELTWAY_SANITIZE] ([Off] when unset or
+    unparseable). *)
+
+type t
+
+val attach : ?level:level -> Beltway.Gc.t -> t
+(** Install the sanitizer's hooks on the heap (default level:
+    {!env_level}). Attach before the first allocation: earlier objects
+    are invisible to the shadow. *)
+
+val detach : t -> unit
+(** Remove the hooks; accumulated violations remain readable. *)
+
+val level : t -> level
+val enabled : t -> bool
+
+val check_now : t -> unit
+(** Run the differential check on demand (also runs automatically at
+    every collection). *)
+
+val note_write : t -> obj:Addr.t -> field:int -> value:Value.t -> unit
+(** Tell the shadow about a store that bypassed [Gc.write] — the
+    fault-injection harness uses this to model "the store happened but
+    its barrier record was lost". *)
+
+val violations : t -> string list
+(** Accumulated violations, oldest first (capped; see {!dropped}). *)
+
+val dropped : t -> int
+(** Violations discarded beyond the reporting cap. *)
+
+val ok : t -> bool
+val collections_checked : t -> int
+val tracked : t -> int
+
+val report : Format.formatter -> t -> unit
+(** One line per violation, then a summary count. *)

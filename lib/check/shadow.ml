@@ -1,0 +1,206 @@
+module State = Beltway.State
+
+(* A shadow field value. References are tracked by shadow identity, not
+   by address: the collector may move the referent, and the whole point
+   is to check that every real slot chased the move. *)
+type sval =
+  | Imm of int (* raw tagged word: null or an immediate *)
+  | Obj of int (* shadow id of a tracked heap object *)
+  | Boot of Addr.t (* boot-space object: immortal, never moves *)
+
+type entry = {
+  id : int;
+  mutable addr : Addr.t;
+  tib : Value.t;
+  fields : sval array;
+}
+
+type t = {
+  gc : Beltway.Gc.t;
+  by_addr : (Addr.t, entry) Hashtbl.t;
+  by_id : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+  reached : (int, unit) Hashtbl.t; (* scratch for [diff] *)
+}
+
+let create gc =
+  {
+    gc;
+    by_addr = Hashtbl.create 1024;
+    by_id = Hashtbl.create 1024;
+    next_id = 0;
+    reached = Hashtbl.create 1024;
+  }
+
+let tracked t = Hashtbl.length t.by_id
+
+let note_alloc t ~addr ~tib ~nfields =
+  let e = { id = t.next_id; addr; tib; fields = Array.make nfields (Imm Value.null) } in
+  t.next_id <- t.next_id + 1;
+  (* The address cannot collide with a live entry: a tracked object at
+     [addr] would have had to be freed or moved first, and both paths
+     remove the old mapping (purge in [diff], re-key in [note_move]). *)
+  Hashtbl.replace t.by_addr addr e;
+  Hashtbl.replace t.by_id e.id e
+
+let classify t st v ~violation =
+  if not (Value.is_ref v) then Imm v
+  else begin
+    let a = Value.to_addr v in
+    if Boot_space.contains st.State.boot a then Boot a
+    else
+      match Hashtbl.find_opt t.by_addr a with
+      | Some e -> Obj e.id
+      | None ->
+        violation
+          (Printf.sprintf "store of a reference to untracked object %#x" a);
+        Imm v
+  end
+
+let note_write t ~obj ~field ~value ~violation =
+  match Hashtbl.find_opt t.by_addr obj with
+  | None ->
+    (* An object allocated before the shadow attached (or in the boot
+       space): not mirrored, so the store cannot be checked. Ignoring
+       it is the conservative, no-false-positive choice. *)
+    ()
+  | Some e ->
+    if field < 0 || field >= Array.length e.fields then
+      violation
+        (Printf.sprintf "store to field %d of object %#x, which shadow #%d says has %d fields"
+           field obj e.id (Array.length e.fields))
+    else begin
+      let st = Beltway.Gc.state t.gc in
+      e.fields.(field) <- classify t st value ~violation
+    end
+
+let note_move t ~src ~dst ~violation =
+  match Hashtbl.find_opt t.by_addr src with
+  | None ->
+    (* The collector may legitimately evacuate objects the shadow never
+       tracked (pre-attach allocations, remset-retained garbage). *)
+    ()
+  | Some e ->
+    (match Hashtbl.find_opt t.by_addr dst with
+    | Some clash when clash != e ->
+      violation
+        (Printf.sprintf
+           "move of %#x lands on %#x, already occupied by shadow #%d" src dst
+           clash.id)
+    | _ -> ());
+    Hashtbl.remove t.by_addr src;
+    e.addr <- dst;
+    Hashtbl.replace t.by_addr dst e
+
+(* Validate one shadow-reachable entry against real memory. Every check
+   reads through the checked [Memory.get]-family accessors, so a
+   corrupt heap traps into [Invalid_argument] instead of reading wild —
+   which we report as a violation in its own right. *)
+let validate t st mem (e : entry) ~violation =
+  let bad fmt = Format.kasprintf violation fmt in
+  try
+    let frame = State.frame_of_addr st e.addr in
+    if not (Memory.is_live mem frame) then
+      bad "lost object: shadow #%d at %#x lies in dead frame %d" e.id e.addr frame
+    else if State.inc_of_frame st frame = None then
+      bad "lost object: shadow #%d at %#x lies in unowned frame %d" e.id e.addr
+        frame
+    else begin
+      match Object_model.forwarded mem e.addr with
+      | Some f ->
+        bad "stale forwarding pointer: object %#x still forwards to %#x outside GC"
+          e.addr f
+      | None ->
+        let n = Object_model.nfields mem e.addr in
+        if n <> Array.length e.fields then
+          bad "corrupted header: object %#x claims %d fields, shadow #%d recorded %d"
+            e.addr n e.id (Array.length e.fields)
+        else begin
+          let real_tib = Object_model.tib mem e.addr in
+          if real_tib <> e.tib then
+            bad "clobbered TIB of object %#x: expected %a, found %a" e.addr
+              Value.pp e.tib Value.pp real_tib;
+          Array.iteri
+            (fun i sv ->
+              let real = Memory.get mem (Object_model.field_addr e.addr i) in
+              match sv with
+              | Imm w ->
+                if real <> w then
+                  bad "clobbered field %d of object %#x (shadow #%d): expected %a, found %a"
+                    i e.addr e.id Value.pp w Value.pp real
+              | Boot a ->
+                if (not (Value.is_ref real)) || Value.to_addr real <> a then
+                  bad "clobbered field %d of object %#x: expected boot ref %#x, found %a"
+                    i e.addr a Value.pp real
+              | Obj id ->
+                let tgt = Hashtbl.find t.by_id id in
+                if not (Value.is_ref real) then
+                  bad "clobbered field %d of object %#x: expected ref to shadow #%d, found %a"
+                    i e.addr id Value.pp real
+                else begin
+                  let ra = Value.to_addr real in
+                  if ra <> tgt.addr then
+                    bad
+                      "stale reference: field %d of object %#x points to %#x but shadow #%d lives at %#x (missed forwarding or write-barrier omission)"
+                      i e.addr ra id tgt.addr
+                end)
+            e.fields
+        end
+    end
+  with Invalid_argument m -> bad "shadow walk trapped at object %#x: %s" e.addr m
+
+let diff t ~violation =
+  let st = Beltway.Gc.state t.gc in
+  let mem = st.State.mem in
+  let reached = t.reached in
+  Hashtbl.reset reached;
+  let work = ref [] in
+  let push_id id =
+    if not (Hashtbl.mem reached id) then begin
+      Hashtbl.replace reached id ();
+      work := id :: !work
+    end
+  in
+  (* Roots come from the real heap: the trace starts from what the
+     mutator can actually name right now. *)
+  Roots.iter st.State.roots (fun v ->
+      if Value.is_ref v then begin
+        let a = Value.to_addr v in
+        if not (Boot_space.contains st.State.boot a) then
+          match Hashtbl.find_opt t.by_addr a with
+          | Some e -> push_id e.id
+          | None ->
+            (* Pre-attach allocations are untracked by design; anything
+               else here would be caught by Verify's root checks. *)
+            ()
+      end);
+  (* ... but the edges are the shadow's own, so a collector that lost
+     or corrupted a field cannot steer the trace around the damage. *)
+  let rec drain () =
+    match !work with
+    | [] -> ()
+    | id :: rest ->
+      work := rest;
+      let e = Hashtbl.find t.by_id id in
+      Array.iter (function Obj id' -> push_id id' | Imm _ | Boot _ -> ()) e.fields;
+      drain ()
+  in
+  drain ();
+  Hashtbl.iter
+    (fun id () -> validate t st mem (Hashtbl.find t.by_id id) ~violation)
+    reached;
+  (* Purge entries the mutator can no longer reach: their addresses may
+     be reused by future allocations, and keeping them would manufacture
+     false clashes. *)
+  let dead =
+    Hashtbl.fold
+      (fun id e acc -> if Hashtbl.mem reached id then acc else (id, e) :: acc)
+      t.by_id []
+  in
+  List.iter
+    (fun (id, e) ->
+      (match Hashtbl.find_opt t.by_addr e.addr with
+      | Some e' when e' == e -> Hashtbl.remove t.by_addr e.addr
+      | _ -> ());
+      Hashtbl.remove t.by_id id)
+    dead

@@ -1,0 +1,54 @@
+(** The shadow heap: an independent mirror of the mutator-visible
+    object graph.
+
+    The shadow heap is rebuilt from nothing but the mutator's own
+    operations, observed through {!Beltway.State.hooks}: every
+    allocation creates a shadow entry, every field store updates it,
+    and every collector move re-keys it. It shares no code with the
+    collector's forwarding or scanning paths, so diffing it against
+    the real heap ({!diff}) catches whole classes of collector bugs
+    that a single-snapshot invariant checker cannot:
+
+    - {e lost objects}: a shadow-reachable object whose frame was
+      freed or dropped from its increment;
+    - {e clobbered fields / headers}: the real word no longer matches
+      what the mutator last stored;
+    - {e stale forwarding pointers}: an object still carrying a
+      forwarding header outside a collection;
+    - {e write-barrier omissions}: a slot the collector failed to
+      forward, left pointing at an object's pre-move address.
+
+    Soundness of the no-false-positive claim: the diff only validates
+    entries reachable from the real root set through shadow edges.
+    Shadow reachability is exactly mutator-visible reachability, a
+    subset of what any correct collector must preserve, so every
+    validated comparison is against memory the collector was obliged
+    to keep. Entries that fall shadow-unreachable are purged — the
+    mutator can never name them again, and their addresses may be
+    legitimately reused. *)
+
+type t
+
+val create : Beltway.Gc.t -> t
+(** An empty shadow for the given heap. Attach before the first
+    allocation: objects allocated earlier are unknown to the shadow
+    (stores into them are ignored rather than mirrored). *)
+
+(** {2 Mirror maintenance} (wired to [State.hooks] by the sanitizer) *)
+
+val note_alloc : t -> addr:Addr.t -> tib:Value.t -> nfields:int -> unit
+val note_write :
+  t -> obj:Addr.t -> field:int -> value:Value.t -> violation:(string -> unit) -> unit
+val note_move : t -> src:Addr.t -> dst:Addr.t -> violation:(string -> unit) -> unit
+
+(** {2 Differential check} *)
+
+val diff : t -> violation:(string -> unit) -> unit
+(** Compare the shadow against the real heap: trace shadow
+    reachability from the real roots, validate every reachable entry
+    (placement, header, TIB, every field) against real memory, then
+    purge unreachable entries. [violation] is called once per
+    discrepancy. *)
+
+val tracked : t -> int
+(** Entries currently mirrored (reachable or not-yet-purged). *)

@@ -43,6 +43,9 @@ let collect st plan =
   let ftab = st.State.ftab in
   let frame_log = Memory.frame_log mem in
   st.State.in_gc <- true;
+  (match st.State.hooks with
+  | [] -> ()
+  | hs -> List.iter (fun h -> h.State.on_collect_start ~reason:plan.reason) hs);
   let copied_words = ref 0 in
   let copied_objects = ref 0 in
   let scanned_slots = ref 0 in
@@ -121,6 +124,9 @@ let collect st plan =
     Memory.unsafe_set mem addr ((new_addr lsl 1) lor 1);
     copied_words := !copied_words + size;
     incr copied_objects;
+    (match st.State.hooks with
+    | [] -> ()
+    | hs -> List.iter (fun h -> h.State.on_move ~src:addr ~dst:new_addr) hs);
     new_addr
   in
 
@@ -331,4 +337,7 @@ let collect st plan =
     }
   in
   Gc_stats.record_collection st.State.stats record;
+  (match st.State.hooks with
+  | [] -> ()
+  | hs -> List.iter (fun h -> h.State.on_collect_end ~full_heap:plan.full_heap) hs);
   record

@@ -33,6 +33,9 @@ let finish_alloc st ~ty ~nfields ~size addr =
      the Jikes RVM behaviour that motivates the nursery filter. *)
   Write_barrier.record st ~slot:(Object_model.tib_addr addr)
     ~target:(Value.to_addr tib);
+  (match st.State.hooks with
+  | [] -> ()
+  | hs -> List.iter (fun h -> h.State.on_alloc ~addr ~tib ~nfields) hs);
   addr
 
 let alloc st ~ty ~nfields =
@@ -69,7 +72,10 @@ let write st obj i v =
   Object_model.set_field st.State.mem obj i v;
   if Value.is_ref v then
     Write_barrier.record st ~slot:(Object_model.field_addr obj i)
-      ~target:(Value.to_addr v)
+      ~target:(Value.to_addr v);
+  match st.State.hooks with
+  | [] -> ()
+  | hs -> List.iter (fun h -> h.State.on_write ~obj ~field:i ~value:v) hs
 
 let read st obj i = Object_model.get_field st.State.mem obj i
 let nfields st obj = Object_model.nfields st.State.mem obj

@@ -1,5 +1,22 @@
 exception Out_of_memory of string
 
+type hooks = {
+  on_alloc : addr:Addr.t -> tib:Value.t -> nfields:int -> unit;
+  on_write : obj:Addr.t -> field:int -> value:Value.t -> unit;
+  on_move : src:Addr.t -> dst:Addr.t -> unit;
+  on_collect_start : reason:string -> unit;
+  on_collect_end : full_heap:bool -> unit;
+}
+
+let noop_hooks =
+  {
+    on_alloc = (fun ~addr:_ ~tib:_ ~nfields:_ -> ());
+    on_write = (fun ~obj:_ ~field:_ ~value:_ -> ());
+    on_move = (fun ~src:_ ~dst:_ -> ());
+    on_collect_start = (fun ~reason:_ -> ());
+    on_collect_end = (fun ~full_heap:_ -> ());
+  }
+
 type t = {
   mem : Memory.t;
   boot : Boot_space.t;
@@ -26,6 +43,7 @@ type t = {
   mutable live_est_frames : int;
       (* survivors of the most recent full-heap collection; 0 = none
          yet. A cheap live-set statistic for diagnostics and tests. *)
+  mutable hooks : hooks list;
 }
 
 let create ~config ~heap_frames ~frame_log_words =
@@ -84,7 +102,11 @@ let create ~config ~heap_frames ~frame_log_words =
     in_gc = false;
     gcs_this_alloc = 0;
     live_est_frames = 0;
+    hooks = [];
   }
+
+let add_hooks t h = t.hooks <- t.hooks @ [ h ]
+let remove_hooks t h = t.hooks <- List.filter (fun h' -> h' != h) t.hooks
 
 let heap_words t = t.heap_frames * Memory.frame_words t.mem
 let free_frames t = t.heap_frames - t.frames_used

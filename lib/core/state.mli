@@ -12,6 +12,29 @@ exception Out_of_memory of string
     the analogue of a benchmark "failing to run" at a heap size in the
     paper's figures. *)
 
+type hooks = {
+  on_alloc : addr:Addr.t -> tib:Value.t -> nfields:int -> unit;
+      (** after an object is initialised (header + TIB written, fields
+          null), for every allocation path: nursery, pretenured, LOS *)
+  on_write : obj:Addr.t -> field:int -> value:Value.t -> unit;
+      (** after a mutator field store (and its barrier record) *)
+  on_move : src:Addr.t -> dst:Addr.t -> unit;
+      (** after the collector evacuates an object and installs its
+          forwarding pointer *)
+  on_collect_start : reason:string -> unit;
+      (** on entering a collection, before any evacuation *)
+  on_collect_end : full_heap:bool -> unit;
+      (** after a collection completes and the heap is consistent
+          (evacuated increments freed, statistics recorded); not fired
+          when a collection aborts with [Out_of_memory] *)
+}
+(** Observation hooks for heap-analysis tools (the shadow-heap
+    sanitizer, verification-every-n testing). Hooks observe; they must
+    not allocate on or otherwise mutate the heap being observed. *)
+
+val noop_hooks : hooks
+(** All-no-op record, for [{ noop_hooks with ... }] updates. *)
+
 type t = {
   mem : Memory.t;
   boot : Boot_space.t;
@@ -43,7 +66,19 @@ type t = {
   mutable live_est_frames : int;
       (** survivors of the most recent full-heap collection (0 before
           the first): a cheap live-set statistic. *)
+  mutable hooks : hooks list;
+      (** installed observation hooks; empty in the common case, and
+          the dispatch sites are a single [match] away from free when
+          it is *)
 }
+
+val add_hooks : t -> hooks -> unit
+(** Install an observation hook set (appended; hooks fire in
+    installation order). *)
+
+val remove_hooks : t -> hooks -> unit
+(** Uninstall a hook set previously passed to {!add_hooks} (matched by
+    physical identity). *)
 
 val create : config:Config.t -> heap_frames:int -> frame_log_words:int -> t
 (** Fresh state with an empty heap. [heap_frames] is the collector's

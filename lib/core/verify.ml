@@ -69,6 +69,11 @@ let check_frames st =
 let check_objects_and_remsets gc =
   let st = Gc.state gc in
   let mem = st.State.mem in
+  let incs = State.live_increments st in
+  (* The oracle's reachability table costs a full heap trace; an empty
+     heap (every increment object-free) has nothing to check. *)
+  if List.for_all (fun (i : Increment.t) -> i.Increment.objects = 0) incs then Ok ()
+  else begin
   let reach = Oracle.reachable gc in
   List.fold_left
     (fun acc (inc : Increment.t) ->
@@ -119,9 +124,13 @@ let check_objects_and_remsets gc =
                          end)
                      end)
              end)
-       with Invalid_argument e -> res := err "heap walk failed: %s" e);
+       with Invalid_argument e ->
+         res :=
+           err "heap walk failed in increment %d (belt %d, stamp %d): %s"
+             inc.Increment.id inc.Increment.belt inc.Increment.stamp e);
       !res)
-    (Ok ()) (State.live_increments st)
+    (Ok ()) incs
+  end
 
 let check_accounting st =
   let counted =

@@ -13,6 +13,7 @@ let () =
       ("trace", Test_trace.suite);
       ("workload", Test_workload.suite);
       ("torture", Test_torture.suite);
+      ("check", Test_check.suite);
       ("beltlang", Test_beltlang.suite);
       ("sim", Test_sim.suite);
     ]

@@ -1,0 +1,58 @@
+The checking layers, end to end.
+
+Sanitized runs maintain a shadow heap through mutator hooks and diff it
+against the real heap after every collection (level 2 also re-verifies
+the structural invariants):
+
+  $ beltway-run -b jess -H 1024 -q --sanitize
+  sanitizer: OK
+
+  $ beltway-run -b db -g appel+cards -H 1024 -q --sanitize 1
+  sanitizer: OK
+
+  $ beltlang -p sieve --sanitize
+  168
+  997
+  sanitizer: OK
+
+The environment switch is equivalent:
+
+  $ BELTWAY_SANITIZE=2 beltlang -p tak
+  7
+  sanitizer: OK
+
+A bad sanitizer level is rejected:
+
+  $ beltway-run -b jess -q --sanitize 7
+  error: --sanitize takes 0, 1 or 2 (got 7)
+  [2]
+
+The static analyser flags scope and arity defects, dead code and unused
+bindings without running the program, plus pretenuring notes for
+allocation sites that feed long-lived structures:
+
+  $ cat > defects.bl <<'EOF'
+  > (define (f x) (+ x y))
+  > (define (g a b) a)
+  > (define table (make-vector 64 0))
+  > (vector-set! table 0 (cons 1 2))
+  > (print (g 1))
+  > (if #t (print 1) (print 2))
+  > EOF
+  $ beltlang --lint defects.bl
+  lint: error [unbound-var] unbound variable y in f
+  lint: warning [unused-param] parameter b is never used in g
+  lint: note [pretenure] global table is initialised with a vector: immortal data, a candidate for alloc_pretenured (belt >= 1)
+  lint: note [pretenure] cons cell stored into the heap via vector-set! likely outlives its creating scope: a candidate for alloc_pretenured (belt >= 1)
+  lint: error [bad-arity] g expects 2 arguments, got 1
+  lint: warning [unreachable] else-branch is unreachable: condition #t is always true
+  lint: warning [unused-global] global f is defined but never used
+  lint: note [alloc-summary] allocation sites: 2 data, 2 closure; 1 escaping to globals, 1 stored into the heap
+  lint: 2 error(s), 3 warning(s)
+  [1]
+
+A clean program passes with errors-free output and exit 0:
+
+  $ beltlang -p nqueens --lint
+  lint: note [alloc-summary] allocation sites: 1 data, 3 closure; 0 escaping to globals, 0 stored into the heap
+  lint: 0 error(s), 0 warning(s)

@@ -253,6 +253,89 @@ let test_program (p : Programs.t) () =
   | Some e -> checks (p.Programs.name ^ " expected output") e reference
   | None -> ()
 
+(* --- static analysis ---------------------------------------------- *)
+
+module Analysis = Beltlang.Analysis
+
+let codes_of diags = List.map (fun d -> d.Analysis.code) diags
+
+let analyze_str src = Analysis.analyze (Sexp.parse_string src)
+
+let has code diags =
+  if not (List.mem code (codes_of diags)) then
+    Alcotest.failf "expected a %s diagnostic, got: %s" code
+      (String.concat ", " (codes_of diags))
+
+let lacks code diags =
+  if List.mem code (codes_of diags) then
+    Alcotest.failf "unexpected %s diagnostic" code
+
+let test_lint_scope_arity () =
+  let d =
+    analyze_str
+      "(define (f x) (+ x missing)) (f 1 2) (cons 1) (set! nowhere 3)"
+  in
+  has "unbound-var" d;
+  has "bad-arity" d;
+  checki "errors counted" 4 (Analysis.errors d);
+  (* shadowing a primitive turns its uses into plain calls *)
+  let d = analyze_str "(define (cons a) a) (cons 1)" in
+  lacks "bad-arity" d;
+  checki "no errors when prim shadowed" 0 (Analysis.errors d)
+
+let test_lint_unreachable () =
+  let d = analyze_str "(define (f) (if #t 1 2)) (f)" in
+  has "unreachable" d;
+  let d = analyze_str "(define (f) (while #f (print 1))) (f)" in
+  has "unreachable" d;
+  let d = analyze_str "(define (f) (or #t (print 1))) (f)" in
+  has "unreachable" d;
+  let d = analyze_str "(define (f n) (if (< n 2) 1 2)) (f 3)" in
+  lacks "unreachable" d
+
+let test_lint_unused () =
+  let d = analyze_str "(define (f x y) x) (f 1 2)" in
+  has "unused-param" d;
+  let d = analyze_str "(define (f) (let ((a 1) (b 2)) a)) (f)" in
+  has "unused-binding" d;
+  let d = analyze_str "(define lonely 1) (print 2)" in
+  has "unused-global" d;
+  (* underscore opts out; set!-as-use counts *)
+  let d = analyze_str "(define (f _x) (let ((a 1)) (set! a 2) a)) (f 1)" in
+  checki "no warnings" 0 (Analysis.warnings d)
+
+let test_lint_pretenure () =
+  let d = analyze_str "(define table (make-vector 8 0)) (print (vector-ref table 0))" in
+  has "pretenure" d;
+  let d = analyze_str "(define (f v x) (vector-set! v 0 (cons x nil))) (f (make-vector 1 0) 2)" in
+  has "pretenure" d;
+  (* purely local allocation: nursery is right, no note *)
+  let d = analyze_str "(define (f) (car (cons 1 2))) (print (f))" in
+  lacks "pretenure" d
+
+let test_lint_mirrors_compiler () =
+  (* Everything the resolver accepts must lint error-free, and the
+     analyser must keep scoping rules identical (let is non-recursive,
+     defines are mutually recursive). *)
+  let ok = "(define (even? n) (if (= n 0) #t (odd? (- n 1))))\n\
+            (define (odd? n) (if (= n 0) #f (even? (- n 1))))\n\
+            (print (if (even? 10) 1 0))" in
+  ignore (Ast.compile (Sexp.parse_string ok));
+  checki "mutual recursion lints clean" 0 (Analysis.errors (analyze_str ok));
+  let bad = "(let ((x 1) (y x)) y)" in
+  (try
+     ignore (Ast.compile (Sexp.parse_string bad));
+     Alcotest.fail "compiler accepted non-recursive let misuse"
+   with Ast.Compile_error _ -> ());
+  has "unbound-var" (analyze_str bad)
+
+let test_lint_programs_clean () =
+  List.iter
+    (fun (p : Programs.t) ->
+      let d = Analysis.analyze (Sexp.parse_string p.Programs.source) in
+      checki (p.Programs.name ^ " lints without errors") 0 (Analysis.errors d))
+    Programs.all
+
 let suite =
   [
     ("sexp atoms", `Quick, test_sexp_atoms);
@@ -281,6 +364,12 @@ let suite =
     ("globals inspectable", `Quick, test_globals_inspectable);
     ("state persists across runs", `Quick, test_state_persists_across_runs);
     ("interpreter OOM", `Quick, test_interp_oom);
+    ("lint scope/arity", `Quick, test_lint_scope_arity);
+    ("lint unreachable", `Quick, test_lint_unreachable);
+    ("lint unused", `Quick, test_lint_unused);
+    ("lint pretenure notes", `Quick, test_lint_pretenure);
+    ("lint mirrors the compiler", `Quick, test_lint_mirrors_compiler);
+    ("lint bundled programs clean", `Quick, test_lint_programs_clean);
   ]
   @ List.map
       (fun p -> ("program " ^ p.Programs.name, `Slow, test_program p))

@@ -16,9 +16,34 @@ let configs =
     "10.10.100"; "appel+cards"; "25.25.100+los:128"; "25.25.100+cards";
   ]
 
+(* BELTWAY_VERIFY_EVERY=n: run the full integrity checker at every nth
+   completed collection, not just at the end of the run — the
+   configuration matrix below then exercises Verify at thousands of
+   intermediate heap states. Off by default (it is quadratic-ish). *)
+let verify_every =
+  match Sys.getenv_opt "BELTWAY_VERIFY_EVERY" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> Some n | _ -> None)
+  | None -> None
+
+let install_verify_every gc =
+  match verify_every with
+  | None -> ()
+  | Some n ->
+    let count = ref 0 in
+    Beltway.State.add_hooks (Gc.state gc)
+      {
+        Beltway.State.noop_hooks with
+        on_collect_end =
+          (fun ~full_heap:_ ->
+            incr count;
+            if !count mod n = 0 then Beltway.Verify.check_exn gc);
+      }
+
 let run_one (t : Torture.t) cs ~heap_kb =
   let config = Result.get_ok (Config.parse cs) in
   let gc = Gc.create ~frame_log_words:8 ~config ~heap_bytes:(heap_kb * 1024) () in
+  install_verify_every gc;
   let completed =
     try
       t.Torture.run gc;
