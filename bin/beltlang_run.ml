@@ -24,7 +24,7 @@ let lint source =
     exit (if errors > 0 then 1 else 0)
 
 let run config_str heap_kb source_file builtin list_programs show_stats
-    verify_heap sanitize lint_only =
+    verify_heap sanitize lint_only trace metrics =
   if list_programs then begin
     List.iter
       (fun (p : Beltlang.Programs.t) ->
@@ -57,6 +57,14 @@ let run config_str heap_kb source_file builtin list_programs show_stats
     if lint_only then lint source;
     let gc = Beltway.Gc.create ~config ~heap_bytes:(heap_kb * 1024) () in
     let san = Beltway_check.Sanitizer.attach ~level:(sanitizer_level sanitize) gc in
+    let trace_file =
+      match trace with Some _ -> trace | None -> Beltway_obs.Recorder.env_file ()
+    in
+    let recorder =
+      if trace_file <> None || metrics <> None then
+        Some (Beltway_obs.Recorder.attach gc)
+      else None
+    in
     let interp = Beltlang.Interp.create gc in
     let status =
       try
@@ -73,6 +81,20 @@ let run config_str heap_kb source_file builtin list_programs show_stats
         Printf.eprintf "out of memory: %s\n" e;
         3
     in
+    (match recorder with
+    | None -> ()
+    | Some r ->
+      Beltway_obs.Recorder.detach r;
+      Option.iter
+        (fun f ->
+          Beltway_obs.Chrome_trace.write_file f
+            (Beltway_obs.Chrome_trace.to_json ~process_name:"beltlang" r))
+        trace_file;
+      Option.iter
+        (fun f ->
+          Beltway_obs.Chrome_trace.write_file f
+            (Beltway_obs.Metrics.to_json (Beltway_obs.Recorder.metrics r)))
+        metrics);
     print_string (Beltlang.Interp.output interp);
     if show_stats then
       Format.eprintf "[gc %a] %a@." Beltway.Config.pp config Beltway.Gc_stats.pp_summary
@@ -144,12 +166,27 @@ let lint_arg =
   in
   Arg.(value & flag & info [ "lint" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Attach the GC flight recorder and write a Chrome trace_event JSON trace \
+     to $(docv). Overrides $(b,BELTWAY_TRACE)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Attach the GC flight recorder and write a JSON metrics snapshot to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run a Beltlang program on a Beltway-collected heap" in
   Cmd.v
     (Cmd.info "beltlang" ~doc)
     Term.(
       const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg
-      $ stats_arg $ verify_arg $ sanitize_arg $ lint_arg)
+      $ stats_arg $ verify_arg $ sanitize_arg $ lint_arg $ trace_arg
+      $ metrics_arg)
 
 let () = Cmd.eval cmd |> exit

@@ -19,7 +19,8 @@ let sanitizer_report san =
     if not (Beltway_check.Sanitizer.ok san) then exit 1
   end
 
-let run config_str bench_name heap_kb verify_heap quiet dump sanitize =
+let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
+    metrics =
   match Beltway.Config.parse config_str with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
@@ -37,6 +38,36 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize =
           ~heap_bytes:(heap_kb * 1024) ()
       in
       let san = Beltway_check.Sanitizer.attach ~level:(sanitizer_level sanitize) gc in
+      let trace_file =
+        match trace with Some _ -> trace | None -> Beltway_obs.Recorder.env_file ()
+      in
+      let recorder =
+        if trace_file <> None || metrics <> None then
+          Some (Beltway_obs.Recorder.attach gc)
+        else None
+      in
+      let export_obs () =
+        match recorder with
+        | None -> ()
+        | Some r ->
+          Beltway_obs.Recorder.detach r;
+          Option.iter
+            (fun f ->
+              Beltway_obs.Chrome_trace.write_file f
+                (Beltway_obs.Chrome_trace.to_json
+                   ~process_name:bench.Beltway_workload.Spec.name r);
+              if not quiet then
+                Format.printf "trace:       %s (%d events, %d dropped)@." f
+                  (Beltway_obs.Recorder.event_count r)
+                  (Beltway_obs.Recorder.dropped r))
+            trace_file;
+          Option.iter
+            (fun f ->
+              Beltway_obs.Chrome_trace.write_file f
+                (Beltway_obs.Metrics.to_json (Beltway_obs.Recorder.metrics r));
+              if not quiet then Format.printf "metrics:     %s@." f)
+            metrics
+      in
       let t0 = Unix.gettimeofday () in
       let outcome =
         try
@@ -65,8 +96,16 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize =
             (100.0
             *. Beltway_sim.Cost_model.gc_time model stats
             /. Float.max 1.0 (Beltway_sim.Cost_model.total_time model stats));
-          Format.printf "wall clock:  %.3fs (simulation)@." wall
+          Format.printf "wall clock:  %.3fs (simulation)@." wall;
+          (match recorder with
+          | Some r when Beltway_obs.Recorder.collections r > 0 ->
+            let tl = Beltway_sim.Mmu.timeline model stats in
+            Format.printf "%a@." Beltway_sim.Mmu.pp_drift
+              (Beltway_sim.Mmu.crosscheck tl
+                 ~recorded_durs:(Beltway_obs.Recorder.pause_durs_us r))
+          | _ -> ())
         end;
+        export_obs ();
         if dump then Format.printf "%a@." Beltway.Gc.pp_heap gc;
         if verify_heap then begin
           match Beltway.Verify.check gc with
@@ -77,6 +116,7 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize =
         end;
         sanitizer_report san
       | Error m ->
+        export_obs ();
         Format.printf "OUT OF MEMORY after %d collections: %s@."
           (Beltway.Gc_stats.gcs stats) m;
         exit 3))
@@ -121,12 +161,28 @@ let sanitize_arg =
     & opt ~vopt:(Some 2) (some int) None
     & info [ "sanitize" ] ~docv:"LEVEL" ~doc)
 
+let trace_arg =
+  let doc =
+    "Attach the GC flight recorder and write a Chrome trace_event JSON trace \
+     to $(docv) (load in chrome://tracing or Perfetto). Overrides \
+     $(b,BELTWAY_TRACE)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Attach the GC flight recorder and write a JSON metrics snapshot (pause \
+     and occupancy distributions with p50/p90/p99, trigger and frame \
+     counters) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run a synthetic benchmark under a Beltway collector configuration" in
   Cmd.v
     (Cmd.info "beltway-run" ~doc)
     Term.(
       const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg
-      $ dump_arg $ sanitize_arg)
+      $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

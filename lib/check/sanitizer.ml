@@ -61,6 +61,7 @@ let attach ?level gc =
   if level <> Off then begin
     let hooks =
       {
+        State.noop_hooks with
         State.on_alloc =
           (fun ~addr ~tib ~nfields -> Shadow.note_alloc t.shadow ~addr ~tib ~nfields);
         on_write =
@@ -68,7 +69,6 @@ let attach ?level gc =
             Shadow.note_write t.shadow ~obj ~field ~value ~violation:(record t));
         on_move =
           (fun ~src ~dst -> Shadow.note_move t.shadow ~src ~dst ~violation:(record t));
-        on_collect_start = (fun ~reason:_ -> ());
         on_collect_end =
           (fun ~full_heap:_ ->
             t.collections <- t.collections + 1;

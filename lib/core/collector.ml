@@ -2,7 +2,8 @@ module Vec = Beltway_util.Vec
 
 type plan = {
   increments : Increment.t list;
-  reason : string;
+  reason : Gc_stats.reason;
+  emergency : bool;
   full_heap : bool;
 }
 
@@ -45,7 +46,18 @@ let collect st plan =
   st.State.in_gc <- true;
   (match st.State.hooks with
   | [] -> ()
-  | hs -> List.iter (fun h -> h.State.on_collect_start ~reason:plan.reason) hs);
+  | hs ->
+    List.iter
+      (fun h ->
+        h.State.on_collect_start ~reason:plan.reason ~emergency:plan.emergency)
+      hs);
+  (* Phase spans for the flight recorder: free when no hooks are
+     installed (one list match per phase boundary per collection). *)
+  let phase p enter =
+    match st.State.hooks with
+    | [] -> ()
+    | hs -> List.iter (fun h -> h.State.on_gc_phase ~phase:p ~enter) hs
+  in
   let copied_words = ref 0 in
   let copied_objects = ref 0 in
   let scanned_slots = ref 0 in
@@ -164,9 +176,11 @@ let collect st plan =
   in
 
   (* Roots. *)
+  phase Gc_stats.Phase_roots true;
   Roots.iter_update st.State.roots (fun v ->
       incr roots_scanned;
       forward v);
+  phase Gc_stats.Phase_roots false;
 
   (* Record that a surviving slot still holds an interesting pointer,
      in whichever bookkeeping the configuration uses. The predicate is
@@ -220,6 +234,7 @@ let collect st plan =
 
   (match st.State.config.Config.barrier with
   | Config.Remsets ->
+    phase Gc_stats.Phase_remset true;
     (* Remembered slots targeting the plan from outside it. Snapshot
        first (into scratch reused across collections): forwarding
        inserts new remset entries and the table must not be mutated
@@ -244,8 +259,10 @@ let collect st plan =
         end
       end
     done;
-    Vec.clear pending_slots
+    Vec.clear pending_slots;
+    phase Gc_stats.Phase_remset false
   | Config.Cards ->
+    phase Gc_stats.Phase_cards true;
     (* Card scanning: every dirty frame outside the plan may hold
        pointers into it. Scan the owning increments object by object —
        the scan-cost side of the cards-vs-remsets trade-off (paper S5).
@@ -261,11 +278,13 @@ let collect st plan =
         end);
     Hashtbl.iter
       (fun _ (inc : Increment.t) -> Increment.iter_objects inc mem card_scan_object)
-      incs_to_scan);
+      incs_to_scan;
+    phase Gc_stats.Phase_cards false);
 
   (* Cheney drain: scan every destination's copied objects and every
      marked pinned object; scanning may copy or mark more, so iterate
      until no grey work remains. *)
+  phase Gc_stats.Phase_cheney true;
   let progress = ref true in
   let pinned_scanned = ref 0 in
   while !progress do
@@ -290,10 +309,12 @@ let collect st plan =
       scan_object (Increment.base_object inc mem)
     done
   done;
+  phase Gc_stats.Phase_cheney false;
 
   (* Release the evacuated increments; marked pinned increments stay in
      place (that is the point of the large object space), with their
      transient plan/mark state cleared. *)
+  phase Gc_stats.Phase_free true;
   let pf = plan_frames plan in
   let pw = plan_words plan in
   let pi = List.length plan.increments in
@@ -314,6 +335,7 @@ let collect st plan =
     plan.increments;
   let freed_frames = !freed_frames in
   Vec.clear pinned_work;
+  phase Gc_stats.Phase_free false;
 
   st.State.in_gc <- false;
   if plan.full_heap then st.State.live_est_frames <- st.State.frames_used;
@@ -321,6 +343,7 @@ let collect st plan =
     {
       Gc_stats.n = Gc_stats.gcs st.State.stats;
       reason = plan.reason;
+      emergency = plan.emergency;
       clock_words = st.State.stats.Gc_stats.words_allocated;
       plan_incs = pi;
       plan_frames = pf;
@@ -339,5 +362,12 @@ let collect st plan =
   Gc_stats.record_collection st.State.stats record;
   (match st.State.hooks with
   | [] -> ()
-  | hs -> List.iter (fun h -> h.State.on_collect_end ~full_heap:plan.full_heap) hs);
+  | hs ->
+    List.iter
+      (fun h ->
+        (* Reserve sampled once per collection, after the plan's frames
+           are back: the recorder's reserve-pressure time series. *)
+        h.State.on_reserve ~frames:record.Gc_stats.reserve_frames;
+        h.State.on_collect_end ~full_heap:plan.full_heap)
+      hs);
   record

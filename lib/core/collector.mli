@@ -20,7 +20,9 @@
 
 type plan = {
   increments : Increment.t list; (** downward-closed in stamp order *)
-  reason : string;
+  reason : Gc_stats.reason;
+  emergency : bool;
+      (** planned although the conservative reserve test failed *)
   full_heap : bool;
 }
 

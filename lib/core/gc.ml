@@ -83,7 +83,7 @@ let type_of st obj = Type_registry.id_of_tib st.State.types (Object_model.tib st
 let roots st = st.State.roots
 let stats st = st.State.stats
 let config st = st.State.config
-let collect st = ignore (Schedule.collect_now st ~reason:"forced")
+let collect st = ignore (Schedule.collect_now st ~reason:Gc_stats.Forced)
 let full_collect st = ignore (Schedule.full_collect st)
 let heap_frames st = st.State.heap_frames
 let frame_bytes st = Memory.frame_bytes st.State.mem

@@ -1,8 +1,50 @@
 module Vec = Beltway_util.Vec
 
+type reason =
+  | Heap_full
+  | Nursery
+  | Remset
+  | Forced
+  | Full
+
+let reason_to_string = function
+  | Heap_full -> "heap-full"
+  | Nursery -> "nursery"
+  | Remset -> "remset"
+  | Forced -> "forced"
+  | Full -> "full"
+
+let reason_of_string = function
+  | "heap-full" -> Some Heap_full
+  | "nursery" -> Some Nursery
+  | "remset" -> Some Remset
+  | "forced" -> Some Forced
+  | "full" -> Some Full
+  | _ -> None
+
+let all_reasons = [ Heap_full; Nursery; Remset; Forced; Full ]
+
+type gc_phase =
+  | Phase_roots
+  | Phase_remset
+  | Phase_cards
+  | Phase_cheney
+  | Phase_free
+
+let phase_to_string = function
+  | Phase_roots -> "roots"
+  | Phase_remset -> "remset-drain"
+  | Phase_cards -> "card-drain"
+  | Phase_cheney -> "cheney-copy"
+  | Phase_free -> "frame-free"
+
+let all_phases =
+  [ Phase_roots; Phase_remset; Phase_cards; Phase_cheney; Phase_free ]
+
 type collection = {
   n : int;
-  reason : string;
+  reason : reason;
+  emergency : bool;
   clock_words : int;
   plan_incs : int;
   plan_frames : int;
@@ -18,10 +60,14 @@ type collection = {
   reserve_frames : int;
 }
 
+let collection_label c =
+  reason_to_string c.reason ^ if c.emergency then "-emergency" else ""
+
 let dummy_collection =
   {
     n = -1;
-    reason = "";
+    reason = Forced;
+    emergency = false;
     clock_words = 0;
     plan_incs = 0;
     plan_frames = 0;
@@ -71,11 +117,22 @@ let total_copied_words t =
 let total_freed_frames t =
   Vec.fold (fun acc c -> acc + c.freed_frames) 0 t.collections
 
+(* All derived ratios below are guarded: a run with no collections (or
+   no barrier activity) must print zeros, never a NaN or a division
+   crash. *)
 let pp_summary fmt t =
+  let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den in
+  let per num den = if den <= 0 then 0.0 else float_of_int num /. float_of_int den in
+  let n = gcs t in
   Format.fprintf fmt
     "@[<v>allocated: %d words in %d objects@,\
-     barriers: %d (%d fast, %d slow, %d filtered)@,\
-     collections: %d (copied %d words, freed %d frames, peak %d frames)@]"
+     barriers: %d (%d fast, %d slow, %d filtered = %.1f%%)@,\
+     collections: %d (copied %d words, freed %d frames, peak %d frames)@,\
+     per GC: %.1f words copied, %.1f frames freed, %.1f remset slots@]"
     t.words_allocated t.objects_allocated t.barrier_ops t.barrier_fast t.barrier_slow
-    t.barrier_filtered (gcs t) (total_copied_words t) (total_freed_frames t)
-    t.peak_frames
+    t.barrier_filtered
+    (pct t.barrier_filtered t.barrier_ops)
+    n (total_copied_words t) (total_freed_frames t) t.peak_frames
+    (per (total_copied_words t) n)
+    (per (total_freed_frames t) n)
+    (per (Vec.fold (fun acc c -> acc + c.remset_slots) 0 t.collections) n)

@@ -7,36 +7,70 @@
     agnostic. The allocation clock (words allocated so far) timestamps
     every collection, which is what the MMU analysis needs. *)
 
+type reason =
+  | Heap_full  (** granting a frame would eat into the copy reserve *)
+  | Nursery  (** the nursery increment reached its bound *)
+  | Remset  (** the remembered sets grew past the configured threshold *)
+  | Forced  (** explicitly requested ([Gc.collect]) *)
+  | Full  (** explicitly requested full-heap collection *)
+(** Why a collection was started: the closed set shared by [Trigger],
+    [Schedule], the collection log and the trace exporters, so spellings
+    cannot drift between producers and consumers. *)
+
+val reason_to_string : reason -> string
+val reason_of_string : string -> reason option
+val all_reasons : reason list
+
+type gc_phase =
+  | Phase_roots  (** forwarding the mutator root set *)
+  | Phase_remset  (** draining remembered slots targeting the plan *)
+  | Phase_cards  (** scanning dirty frames (card barrier) *)
+  | Phase_cheney  (** the Cheney grey-set drain (copy + scan) *)
+  | Phase_free  (** releasing the plan's evacuated increments *)
+(** Phases of one collection, in execution order, as reported through
+    [State.hooks.on_gc_phase] for the flight recorder's phase spans. *)
+
+val phase_to_string : gc_phase -> string
+val all_phases : gc_phase list
+
 type collection = {
-  n : int; (** ordinal of this collection *)
-  reason : string; (** "heap-full", "nursery", "remset", ... *)
-  clock_words : int; (** allocation clock when the pause began *)
-  plan_incs : int; (** increments collected together *)
+  n : int;  (** ordinal of this collection *)
+  reason : reason;
+  emergency : bool;
+      (** chosen although the conservative reserve test failed (the
+          schedule's last-resort plan in tight heaps) *)
+  clock_words : int;  (** allocation clock when the pause began *)
+  plan_incs : int;  (** increments collected together *)
   plan_frames : int;
-  plan_words : int; (** occupancy of the collected increments *)
+  plan_words : int;  (** occupancy of the collected increments *)
   full_heap : bool;
   copied_words : int;
   copied_objects : int;
-  scanned_slots : int; (** slots examined by the Cheney scan *)
+  scanned_slots : int;  (** slots examined by the Cheney scan *)
   remset_slots : int;
       (** barrier-bookkeeping slots processed as roots: remembered-set
           entries under [Remsets], or slots of dirty-frame objects
           scanned under [Cards] *)
   roots_scanned : int;
   freed_frames : int;
-  heap_frames_after : int; (** frames still held after the collection *)
-  reserve_frames : int; (** copy reserve in force when triggered *)
+  heap_frames_after : int;  (** frames still held after the collection *)
+  reserve_frames : int;  (** copy reserve in force when triggered *)
 }
+
+val collection_label : collection -> string
+(** [reason_to_string], with ["-emergency"] appended when the plan was
+    an emergency one — the human-facing spelling used in logs and trace
+    span names. *)
 
 type t = {
   mutable words_allocated : int;
   mutable objects_allocated : int;
-  mutable barrier_ops : int; (** barrier executions (every pointer store) *)
-  mutable barrier_fast : int; (** taken but nothing remembered *)
-  mutable barrier_slow : int; (** remset insert performed *)
-  mutable barrier_filtered : int; (** skipped by the nursery-source filter *)
-  mutable frames_allocated : int; (** lifetime frame grants *)
-  mutable peak_frames : int; (** high-water heap footprint *)
+  mutable barrier_ops : int;  (** barrier executions (every pointer store) *)
+  mutable barrier_fast : int;  (** taken but nothing remembered *)
+  mutable barrier_slow : int;  (** remset insert performed *)
+  mutable barrier_filtered : int;  (** skipped by the nursery-source filter *)
+  mutable frames_allocated : int;  (** lifetime frame grants *)
+  mutable peak_frames : int;  (** high-water heap footprint *)
   collections : collection Beltway_util.Vec.t;
 }
 
@@ -49,4 +83,6 @@ val total_copied_words : t -> int
 val total_freed_frames : t -> int
 
 val pp_summary : Format.formatter -> t -> unit
-(** One-paragraph human-readable summary. *)
+(** One-paragraph human-readable summary, including the barrier-filter
+    rate as a percentage and per-collection averages. Safe on empty
+    statistics: a zero-collection run prints zeros, never NaN. *)

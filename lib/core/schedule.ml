@@ -100,11 +100,12 @@ let feasible st plan =
 let choose_plan st ~reason =
   let all = State.live_increments st in
   let nlive = List.length all in
-  let mk ?(suffix = "") target =
+  let mk ?(emergency = false) target =
     let incs = closure st target in
     {
       Collector.increments = incs;
-      reason = reason ^ suffix;
+      reason;
+      emergency;
       full_heap = List.length incs = nlive && nlive > 0;
     }
   in
@@ -156,7 +157,7 @@ let choose_plan st ~reason =
       Log.debug (fun m ->
           m "emergency collection of increment %d (plan exceeds conservative reserve)"
             target.Increment.id);
-      Some (mk ~suffix:"-emergency" target))
+      Some (mk ~emergency:true target))
 
 let collect_now st ~reason =
   match choose_plan st ~reason with
@@ -177,7 +178,12 @@ let full_collect st =
   | Some target ->
     Some
       (Collector.collect st
-         { Collector.increments = closure st target; reason = "full"; full_heap = true })
+         {
+           Collector.increments = closure st target;
+           reason = Gc_stats.Full;
+           emergency = false;
+           full_heap = true;
+         })
 
 let alloc_large st ~size =
   if State.los_belt st = None then
@@ -191,7 +197,11 @@ let alloc_large st ~size =
         (State.Out_of_memory
            (Printf.sprintf "no progress making room for a %d-word large object" size));
     if Trigger.remset_due st || Trigger.heap_full st ~incoming_frames:k then begin
-      match collect_now st ~reason:"heap-full" with
+      let reason =
+        if Trigger.remset_due st then Gc_stats.Remset else Gc_stats.Heap_full
+      in
+      Trigger.fired st ~reason;
+      match collect_now st ~reason with
       | Some _ -> go (attempts + 1)
       | None ->
         raise
@@ -221,6 +231,7 @@ let prepare_alloc_in st ~belt ~size =
            (Printf.sprintf "no progress pretenuring a %d-word allocation on belt %d"
               size belt));
     let collect reason =
+      Trigger.fired st ~reason;
       match collect_now st ~reason with
       | Some _ -> go (attempts + 1)
       | None ->
@@ -235,8 +246,8 @@ let prepare_alloc_in st ~belt ~size =
       && inc.Increment.cursor <> Addr.null
       && inc.Increment.cursor + size <= inc.Increment.limit
     then inc
-    else if Trigger.remset_due st then collect "remset"
-    else if Trigger.heap_full st ~incoming_frames:1 then collect "heap-full"
+    else if Trigger.remset_due st then collect Gc_stats.Remset
+    else if Trigger.heap_full st ~incoming_frames:1 then collect Gc_stats.Heap_full
     else begin
       State.grant_frame st inc ~during_gc:false;
       go attempts
@@ -260,6 +271,7 @@ let prepare_alloc st ~size =
               attempts size st.State.heap_frames st.State.frames_used
               (Copy_reserve.frames st)));
     let collect reason =
+      Trigger.fired st ~reason;
       match collect_now st ~reason with
       | Some _ -> go (attempts + 1)
       | None ->
@@ -273,21 +285,21 @@ let prepare_alloc st ~size =
       && nur.Increment.cursor <> Addr.null
       && nur.Increment.cursor + size <= nur.Increment.limit
     then nur
-    else if Trigger.remset_due st then collect "remset"
+    else if Trigger.remset_due st then collect Gc_stats.Remset
     else if Trigger.nursery_full st ~size then
       (* Nursery trigger: only meaningful for Lowest_belt policies;
          Global_fifo (older-first) configurations instead open another
          increment on the allocation belt if there is room. *)
       match st.State.config.Config.order with
-      | Config.Lowest_belt -> collect "nursery"
+      | Config.Lowest_belt -> collect Gc_stats.Nursery
       | Config.Global_fifo ->
-        if Trigger.heap_full st ~incoming_frames:1 then collect "heap-full"
+        if Trigger.heap_full st ~incoming_frames:1 then collect Gc_stats.Heap_full
         else begin
           let fresh = State.new_increment st ~belt:0 in
           State.grant_frame st fresh ~during_gc:false;
           go attempts
         end
-    else if Trigger.heap_full st ~incoming_frames:1 then collect "heap-full"
+    else if Trigger.heap_full st ~incoming_frames:1 then collect Gc_stats.Heap_full
     else if Trigger.ttd_due st then begin
       (* Time-to-die: seal the current nursery increment and direct the
          youngest allocation into a fresh one that the next nursery

@@ -30,11 +30,12 @@ val nursery : State.t -> Increment.t
 (** The open nursery increment, creating one (flipping belts first if
     the configuration flips and the allocation belt is empty). *)
 
-val choose_plan : State.t -> reason:string -> Collector.plan option
+val choose_plan : State.t -> reason:Gc_stats.reason -> Collector.plan option
 (** Select a feasible plan per policy; [None] when nothing is
-    collectible (empty heap). *)
+    collectible (empty heap). The plan's [emergency] flag is set when
+    no candidate passed the conservative reserve test. *)
 
-val collect_now : State.t -> reason:string -> Gc_stats.collection option
+val collect_now : State.t -> reason:Gc_stats.reason -> Gc_stats.collection option
 (** Choose a plan and run it. *)
 
 val full_collect : State.t -> Gc_stats.collection option

@@ -4,8 +4,15 @@ type hooks = {
   on_alloc : addr:Addr.t -> tib:Value.t -> nfields:int -> unit;
   on_write : obj:Addr.t -> field:int -> value:Value.t -> unit;
   on_move : src:Addr.t -> dst:Addr.t -> unit;
-  on_collect_start : reason:string -> unit;
+  on_collect_start : reason:Gc_stats.reason -> emergency:bool -> unit;
   on_collect_end : full_heap:bool -> unit;
+  on_gc_phase : phase:Gc_stats.gc_phase -> enter:bool -> unit;
+  on_frame_grant : frame:int -> belt:int -> during_gc:bool -> unit;
+  on_frame_free : frame:int -> belt:int -> unit;
+  on_belt_advance : belt:int -> inc_id:int -> stamp:int -> unit;
+  on_reserve : frames:int -> unit;
+  on_trigger : reason:Gc_stats.reason -> unit;
+  on_barrier_slow : entries:int -> unit;
 }
 
 let noop_hooks =
@@ -13,8 +20,15 @@ let noop_hooks =
     on_alloc = (fun ~addr:_ ~tib:_ ~nfields:_ -> ());
     on_write = (fun ~obj:_ ~field:_ ~value:_ -> ());
     on_move = (fun ~src:_ ~dst:_ -> ());
-    on_collect_start = (fun ~reason:_ -> ());
+    on_collect_start = (fun ~reason:_ ~emergency:_ -> ());
     on_collect_end = (fun ~full_heap:_ -> ());
+    on_gc_phase = (fun ~phase:_ ~enter:_ -> ());
+    on_frame_grant = (fun ~frame:_ ~belt:_ ~during_gc:_ -> ());
+    on_frame_free = (fun ~frame:_ ~belt:_ -> ());
+    on_belt_advance = (fun ~belt:_ ~inc_id:_ ~stamp:_ -> ());
+    on_reserve = (fun ~frames:_ -> ());
+    on_trigger = (fun ~reason:_ -> ());
+    on_barrier_slow = (fun ~entries:_ -> ());
   }
 
 type t = {
@@ -147,6 +161,12 @@ let new_increment t ~belt =
   in
   register_inc t id inc;
   Belt.push_back t.belts.(belt) inc;
+  (match t.hooks with
+  | [] -> ()
+  | hs ->
+    List.iter
+      (fun h -> h.on_belt_advance ~belt ~inc_id:id ~stamp:inc.Increment.stamp)
+      hs);
   inc
 
 let grant_frame t inc ~during_gc =
@@ -164,7 +184,13 @@ let grant_frame t inc ~during_gc =
     t.stats.Gc_stats.peak_frames <- t.frames_used;
   Frame_table.set t.ftab ~frame ~stamp:inc.Increment.stamp ~incr:inc.Increment.id
     ~pinned:false;
-  Increment.add_frame inc t.mem frame
+  Increment.add_frame inc t.mem frame;
+  match t.hooks with
+  | [] -> ()
+  | hs ->
+    List.iter
+      (fun h -> h.on_frame_grant ~frame ~belt:inc.Increment.belt ~during_gc)
+      hs
 
 let open_inc t ~belt =
   match Belt.back t.belts.(belt) with
@@ -181,7 +207,11 @@ let free_increment t inc =
       Card_table.clear t.cards ~frame;
       Frame_table.clear t.ftab ~frame;
       Memory.free_frame t.mem frame;
-      t.frames_used <- t.frames_used - 1)
+      t.frames_used <- t.frames_used - 1;
+      match t.hooks with
+      | [] -> ()
+      | hs ->
+        List.iter (fun h -> h.on_frame_free ~frame ~belt:inc.Increment.belt) hs)
     inc.Increment.frames;
   Belt.remove t.belts.(inc.Increment.belt) inc;
   Hashtbl.remove t.incs_by_id inc.Increment.id;
@@ -235,6 +265,16 @@ let new_pinned_increment t ~size =
     frames;
   register_inc t id inc;
   Belt.push_back t.belts.(belt) inc;
+  (match t.hooks with
+  | [] -> ()
+  | hs ->
+    List.iter
+      (fun h ->
+        h.on_belt_advance ~belt ~inc_id:id ~stamp;
+        List.iter
+          (fun frame -> h.on_frame_grant ~frame ~belt ~during_gc:false)
+          frames)
+      hs);
   inc
 
 let flip_belts t =

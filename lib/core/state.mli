@@ -21,16 +21,38 @@ type hooks = {
   on_move : src:Addr.t -> dst:Addr.t -> unit;
       (** after the collector evacuates an object and installs its
           forwarding pointer *)
-  on_collect_start : reason:string -> unit;
+  on_collect_start : reason:Gc_stats.reason -> emergency:bool -> unit;
       (** on entering a collection, before any evacuation *)
   on_collect_end : full_heap:bool -> unit;
       (** after a collection completes and the heap is consistent
           (evacuated increments freed, statistics recorded); not fired
           when a collection aborts with [Out_of_memory] *)
+  on_gc_phase : phase:Gc_stats.gc_phase -> enter:bool -> unit;
+      (** entering/leaving one phase of a collection (roots, remset or
+          card drain, Cheney copy, frame free), strictly nested inside
+          the collect start/end pair *)
+  on_frame_grant : frame:int -> belt:int -> during_gc:bool -> unit;
+      (** after a frame is granted to an increment and stamped *)
+  on_frame_free : frame:int -> belt:int -> unit;
+      (** after a collected increment's frame is returned to the
+          memory substrate *)
+  on_belt_advance : belt:int -> inc_id:int -> stamp:int -> unit;
+      (** a fresh increment was opened at the back of a belt *)
+  on_reserve : frames:int -> unit;
+      (** copy-reserve size sampled at the end of each collection *)
+  on_trigger : reason:Gc_stats.reason -> unit;
+      (** a collection trigger fired (before the plan is chosen); not
+          reported for explicitly forced collections *)
+  on_barrier_slow : entries:int -> unit;
+      (** after a write-barrier slow path inserted a remembered-set
+          entry; [entries] is the new remset total *)
 }
 (** Observation hooks for heap-analysis tools (the shadow-heap
-    sanitizer, verification-every-n testing). Hooks observe; they must
-    not allocate on or otherwise mutate the heap being observed. *)
+    sanitizer, verification-every-n testing, the [Beltway_obs] flight
+    recorder). Hooks observe; they must not allocate on or otherwise
+    mutate the heap being observed. Every dispatch site first matches
+    on the empty hook list, so a heap with no hooks installed pays one
+    branch per site and nothing more. *)
 
 val noop_hooks : hooks
 (** All-no-op record, for [{ noop_hooks with ... }] updates. *)

@@ -1,3 +1,15 @@
+type reason = Gc_stats.reason =
+  | Heap_full
+  | Nursery
+  | Remset
+  | Forced
+  | Full
+
+let fired st ~reason =
+  match st.State.hooks with
+  | [] -> ()
+  | hs -> List.iter (fun h -> h.State.on_trigger ~reason) hs
+
 let nursery_full st ~size =
   match Belt.back st.State.belts.(0) with
   | None -> false

@@ -13,6 +13,21 @@
       allocated objects are not collected before they have had [TTD]
       bytes of allocation to die. *)
 
+type reason = Gc_stats.reason =
+  | Heap_full
+  | Nursery
+  | Remset
+  | Forced
+  | Full
+(** Re-export of {!Gc_stats.reason}: the closed set of collection
+    causes. The trigger predicates below decide them; the schedule
+    stamps the chosen one into the plan and the collection log. *)
+
+val fired : State.t -> reason:reason -> unit
+(** Report that a trigger decided a collection (dispatches
+    [hooks.on_trigger]; free when no hooks are installed). The schedule
+    calls this once per triggered collection, before planning. *)
+
 val nursery_full : State.t -> size:int -> bool
 (** The open nursery increment cannot accept [size] more words without
     exceeding its bound. *)

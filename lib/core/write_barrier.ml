@@ -31,7 +31,12 @@ let record st ~slot ~target =
       let ftab = st.State.ftab in
       if s <> t && Frame_table.stamp ftab t < Frame_table.stamp ftab s then begin
         stats.Gc_stats.barrier_slow <- stats.Gc_stats.barrier_slow + 1;
-        Remset.insert st.State.remsets ~src_frame:s ~tgt_frame:t ~slot
+        Remset.insert st.State.remsets ~src_frame:s ~tgt_frame:t ~slot;
+        match st.State.hooks with
+        | [] -> ()
+        | hs ->
+          let entries = Remset.total_entries st.State.remsets in
+          List.iter (fun h -> h.State.on_barrier_slow ~entries) hs
       end
       else stats.Gc_stats.barrier_fast <- stats.Gc_stats.barrier_fast + 1
     end

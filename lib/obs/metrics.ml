@@ -1,0 +1,70 @@
+module Histogram = Beltway_util.Histogram
+module Json = Beltway_util.Json
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    hists = Hashtbl.create 32;
+  }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let observe t ~bucket_width name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create ~bucket_width () in
+      Hashtbl.replace t.hists name h;
+      h
+  in
+  Histogram.add h v
+
+let counter t name =
+  Option.fold ~none:0 ~some:( ! ) (Hashtbl.find_opt t.counters name)
+
+let gauge t name =
+  Option.fold ~none:0.0 ~some:( ! ) (Hashtbl.find_opt t.gauges name)
+
+let histogram t name = Hashtbl.find_opt t.hists name
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let quantiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
+let histogram_json h =
+  Json.Obj
+    ([
+       ("count", Json.Num (float_of_int (Histogram.count h)));
+       ("mean", Json.Num (Histogram.mean h));
+       ("max", Json.Num (Histogram.max_value h));
+     ]
+    @ List.map (fun (k, q) -> (k, Json.Num (Histogram.quantile h q))) quantiles)
+
+let to_json t =
+  let obj_of tbl value =
+    Json.Obj (List.map (fun k -> (k, value (Hashtbl.find tbl k))) (sorted_keys tbl))
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "beltway-metrics/1");
+      ("counters", obj_of t.counters (fun r -> Json.Num (float_of_int !r)));
+      ("gauges", obj_of t.gauges (fun r -> Json.Num !r));
+      ("histograms", obj_of t.hists histogram_json);
+    ]

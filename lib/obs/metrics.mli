@@ -1,0 +1,34 @@
+(** A small metrics registry: named counters, gauges and histograms.
+
+    The flight recorder aggregates into one of these (pause
+    distributions, per-belt occupancy, remset pressure); the snapshot
+    exporter serialises it as the [beltway-metrics/1] JSON schema.
+    Histograms carry p50/p90/p99/max via
+    {!Beltway_util.Histogram.quantile}. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter, creating it at zero on first use. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a gauge (last-write-wins sample). *)
+
+val observe : t -> bucket_width:float -> string -> float -> unit
+(** Record one histogram observation; the histogram is created with
+    [bucket_width] on first use (later widths are ignored). *)
+
+val counter : t -> string -> int
+(** 0 when absent. *)
+
+val gauge : t -> string -> float
+(** 0 when absent. *)
+
+val histogram : t -> string -> Beltway_util.Histogram.t option
+
+val to_json : t -> Beltway_util.Json.t
+(** The [beltway-metrics/1] snapshot: counters and gauges by name,
+    histograms as [{count; mean; max; p50; p90; p99}]. Keys are sorted,
+    so output is deterministic. *)

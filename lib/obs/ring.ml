@@ -1,0 +1,50 @@
+type 'a t = {
+  slots : 'a array;
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity dummy; start = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let dropped t = t.dropped
+let is_empty t = t.len = 0
+
+let push t x =
+  let cap = Array.length t.slots in
+  if t.len < cap then begin
+    t.slots.((t.start + t.len) mod cap) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest — a flight recorder keeps the tail of
+       the run, not the head. *)
+    t.slots.(t.start) <- x;
+    t.start <- (t.start + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring.get: index out of bounds";
+  t.slots.((t.start + i) mod Array.length t.slots)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun x -> acc := f !acc x);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc x -> x :: acc))
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

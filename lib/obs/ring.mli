@@ -1,0 +1,33 @@
+(** Fixed-capacity ring buffer with drop-oldest overflow.
+
+    The flight recorder's event store: a full ring overwrites its
+    oldest entry (and counts the loss), so a long run keeps the most
+    recent window of events at a bounded, allocation-free cost per
+    event. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. [dummy] fills unused
+    slots and is never observable. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val dropped : 'a t -> int
+(** Number of events overwritten since creation (or [clear]). *)
+
+val push : 'a t -> 'a -> unit
+(** O(1); overwrites the oldest element when full. *)
+
+val get : 'a t -> int -> 'a
+(** [get t 0] is the oldest retained element.
+    @raise Invalid_argument when out of bounds. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest to newest. *)
+
+val fold : 'a t -> init:'acc -> f:('acc -> 'a -> 'acc) -> 'acc
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit

@@ -26,9 +26,78 @@ let timeline model (stats : Beltway.Gc_stats.t) =
   prefix.(n) <- !acc_pause;
   { starts; durs; prefix; total = mut_total +. !acc_pause; total_pause = !acc_pause }
 
+let of_pauses ?total ~starts ~durs () =
+  let n = Array.length starts in
+  if Array.length durs <> n then invalid_arg "Mmu.of_pauses: length mismatch";
+  let prefix = Array.make (n + 1) 0.0 in
+  let acc = ref 0.0 in
+  let last_end = ref 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i) <- !acc;
+    acc := !acc +. durs.(i);
+    last_end := Float.max !last_end (starts.(i) +. durs.(i))
+  done;
+  prefix.(n) <- !acc;
+  let total =
+    match total with Some t -> Float.max t !last_end | None -> !last_end
+  in
+  {
+    starts = Array.copy starts;
+    durs = Array.copy durs;
+    prefix;
+    total;
+    total_pause = !acc;
+  }
+
 let total_time t = t.total
 let pause_count t = Array.length t.starts
 let max_pause t = Array.fold_left Float.max 0.0 t.durs
+
+type drift = {
+  model_pauses : int;
+  recorded_pauses : int;
+  compared : int;
+  mean_share_dev : float;
+  max_share_dev : float;
+  model_total_pause : float;
+  recorded_total_pause : float;
+}
+
+let crosscheck model_tl ~recorded_durs =
+  let m = Array.length model_tl.durs in
+  let r = Array.length recorded_durs in
+  let compared = min m r in
+  let model_total_pause = model_tl.total_pause in
+  let recorded_total_pause = Array.fold_left ( +. ) 0.0 recorded_durs in
+  let mean_dev = ref 0.0 and max_dev = ref 0.0 in
+  if compared > 0 && model_total_pause > 0.0 && recorded_total_pause > 0.0
+  then begin
+    for i = 0 to compared - 1 do
+      let ms = model_tl.durs.(i) /. model_total_pause in
+      let rs = recorded_durs.(i) /. recorded_total_pause in
+      let d = Float.abs (ms -. rs) in
+      mean_dev := !mean_dev +. d;
+      if d > !max_dev then max_dev := d
+    done;
+    mean_dev := !mean_dev /. float_of_int compared
+  end;
+  {
+    model_pauses = m;
+    recorded_pauses = r;
+    compared;
+    mean_share_dev = !mean_dev;
+    max_share_dev = !max_dev;
+    model_total_pause;
+    recorded_total_pause;
+  }
+
+let pp_drift fmt d =
+  Format.fprintf fmt
+    "MMU cross-check: %d model pauses vs %d recorded (%d compared); \
+     pause-share drift mean %.2f%%, max %.2f%%"
+    d.model_pauses d.recorded_pauses d.compared
+    (100.0 *. d.mean_share_dev)
+    (100.0 *. d.max_share_dev)
 
 let utilization t =
   if t.total <= 0.0 then 1.0 else (t.total -. t.total_pause) /. t.total

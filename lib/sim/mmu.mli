@@ -16,6 +16,14 @@ type timeline
 
 val timeline : Cost_model.t -> Beltway.Gc_stats.t -> timeline
 
+val of_pauses :
+  ?total:float -> starts:float array -> durs:float array -> unit -> timeline
+(** A timeline built directly from recorded pauses (e.g. the flight
+    recorder's wall-clock pause log) instead of the cost-model
+    reconstruction. [total] extends the run past the last pause end
+    (defaults to the last pause end); units are whatever the inputs
+    use, as long as they agree. *)
+
 val total_time : timeline -> float
 val max_pause : timeline -> float
 val utilization : timeline -> float
@@ -29,3 +37,30 @@ val curve : timeline -> windows:float list -> (float * float) list
 (** [(w, mmu w)] pairs. *)
 
 val pause_count : timeline -> int
+
+(** {2 Cross-checking the reconstruction}
+
+    The cost-model timeline and a flight-recorder pause log describe
+    the same collections in different units (abstract cost vs wall
+    microseconds), so the comparison is scale-free: each pause's
+    {e share} of its timeline's total pause time. Per-pause share
+    deviations near zero mean the cost model's relative pause shape
+    matches what actually happened. *)
+
+type drift = {
+  model_pauses : int;
+  recorded_pauses : int;
+  compared : int;  (** [min model_pauses recorded_pauses] *)
+  mean_share_dev : float;
+      (** mean over compared pauses of
+          [|dur_i/total_model - rec_i/total_rec|] *)
+  max_share_dev : float;
+  model_total_pause : float;
+  recorded_total_pause : float;
+}
+
+val crosscheck : timeline -> recorded_durs:float array -> drift
+(** Compare a (cost-model) timeline's pause durations against a
+    recorded pause log, pairing pauses by collection order. *)
+
+val pp_drift : Format.formatter -> drift -> unit

@@ -18,11 +18,7 @@ type result = {
 let frame_log_words = 10
 let frame_bytes = (1 lsl frame_log_words) * Addr.bytes_per_word
 
-let run_one ?(model = Cost_model.default) ~bench ~config ~heap_frames () =
-  let gc =
-    Beltway.Gc.create ~frame_log_words ~config
-      ~heap_bytes:(heap_frames * frame_bytes) ()
-  in
+let run_on gc ~model ~bench ~config ~heap_frames =
   let completed, oom_reason =
     try
       bench.Beltway_workload.Spec.run gc;
@@ -42,6 +38,26 @@ let run_one ?(model = Cost_model.default) ~bench ~config ~heap_frames () =
     mutator_time = Cost_model.mutator_time model stats;
     total_time = Cost_model.total_time model stats;
   }
+
+let make_gc ~config ~heap_frames =
+  Beltway.Gc.create ~frame_log_words ~config
+    ~heap_bytes:(heap_frames * frame_bytes) ()
+
+let run_one ?(model = Cost_model.default) ~bench ~config ~heap_frames () =
+  run_on (make_gc ~config ~heap_frames) ~model ~bench ~config ~heap_frames
+
+let run_traced ?(model = Cost_model.default) ?capacity ~bench ~config
+    ~heap_frames () =
+  let gc = make_gc ~config ~heap_frames in
+  let recorder = Beltway_obs.Recorder.attach ?capacity gc in
+  let result = run_on gc ~model ~bench ~config ~heap_frames in
+  Beltway_obs.Recorder.detach recorder;
+  (result, recorder)
+
+let crosscheck_mmu ?(model = Cost_model.default) result recorder =
+  let tl = Mmu.timeline model result.stats in
+  Mmu.crosscheck tl
+    ~recorded_durs:(Beltway_obs.Recorder.pause_durs_us recorder)
 
 (* The memo is only ever touched from the submitting domain: pool
    tasks run the search below and results are recorded on return. *)

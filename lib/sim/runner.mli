@@ -37,6 +37,25 @@ val run_one :
   unit ->
   result
 
+val run_traced :
+  ?model:Cost_model.t ->
+  ?capacity:int ->
+  bench:Beltway_workload.Spec.t ->
+  config:Config.t ->
+  heap_frames:int ->
+  unit ->
+  result * Beltway_obs.Recorder.t
+(** [run_one] with a flight recorder attached for the duration of the
+    workload ([capacity] = event-ring size). The recorder is detached
+    before returning; export it with [Beltway_obs.Chrome_trace] /
+    [Beltway_obs.Metrics.to_json]. *)
+
+val crosscheck_mmu :
+  ?model:Cost_model.t -> result -> Beltway_obs.Recorder.t -> Mmu.drift
+(** Compare the cost-model pause timeline reconstructed from
+    [result.stats] against the recorder's wall-clock pause log (see
+    {!Mmu.crosscheck}). *)
+
 val min_heap_frames :
   ?config:Config.t -> Beltway_workload.Spec.t -> int
 (** Smallest frame count at which the benchmark completes (binary

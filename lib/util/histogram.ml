@@ -26,3 +26,40 @@ let buckets t =
   |> List.sort compare
 
 let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let quantile t q =
+  if t.n = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    (* Rank of the q-th sample, 1-based; q = 0 takes the first. *)
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+    let rec walk cum = function
+      | [] -> t.max_v
+      | (lo, c) :: rest ->
+        let cum = cum + c in
+        if cum >= rank then
+          (* Upper edge of the bucket, but never above the recorded
+             maximum (the top bucket's edge usually overshoots it). *)
+          Float.min (lo +. t.bucket_width) t.max_v
+        else walk cum rest
+    in
+    walk 0 (buckets t)
+  end
+
+let merge a b =
+  if a.bucket_width <> b.bucket_width then
+    invalid_arg "Histogram.merge: bucket widths differ";
+  let t = create ~bucket_width:a.bucket_width () in
+  let absorb src =
+    Hashtbl.iter
+      (fun bkt c ->
+        Hashtbl.replace t.counts bkt
+          (c + Option.value ~default:0 (Hashtbl.find_opt t.counts bkt)))
+      src.counts;
+    t.n <- t.n + src.n;
+    t.sum <- t.sum +. src.sum;
+    if src.max_v > t.max_v then t.max_v <- src.max_v
+  in
+  absorb a;
+  absorb b;
+  t

@@ -20,3 +20,12 @@ val buckets : t -> (float * int) list
 
 val mean : t -> float
 (** Mean of raw observations (exact, not bucketised). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0,1\]] (clamped): an upper bound on the
+    q-th sample, resolved to its bucket's upper edge and capped at
+    {!max_value}. 0 when empty; [quantile t 1.0 = max_value t]. *)
+
+val merge : t -> t -> t
+(** Combine two histograms into a fresh one (inputs unchanged).
+    @raise Invalid_argument when the bucket widths differ. *)

@@ -16,4 +16,5 @@ let () =
       ("check", Test_check.suite);
       ("beltlang", Test_beltlang.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -202,7 +202,7 @@ let test_remset_trigger_fires () =
        if
          n > 0
          && (Beltway_util.Vec.get st.Beltway.Gc_stats.collections (n - 1))
-              .Beltway.Gc_stats.reason = "remset"
+              .Beltway.Gc_stats.reason = Beltway.Gc_stats.Remset
        then begin
          saw_remset_reason := true;
          raise Exit

@@ -1,0 +1,263 @@
+(* The GC flight recorder: ring semantics, 1:1 agreement between
+   recorded pause spans and the collection log, exporter shapes, and
+   the MMU cross-check. *)
+
+module Gc = Beltway.Gc
+module Gc_stats = Beltway.Gc_stats
+module State = Beltway.State
+module Config = Beltway.Config
+module Ring = Beltway_obs.Ring
+module Metrics = Beltway_obs.Metrics
+module Recorder = Beltway_obs.Recorder
+module Chrome_trace = Beltway_obs.Chrome_trace
+module Mmu = Beltway_sim.Mmu
+module Json = Beltway_util.Json
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let cfg s = Result.get_ok (Config.parse s)
+
+(* A small list-churning mutator that provokes a few dozen collections
+   (including the closing full collection) in a 256 KB heap. *)
+let traced_run ?capacity () =
+  let gc = Gc.create ~config:(cfg "25.25.100") ~heap_bytes:(256 * 1024) () in
+  let recorder = Recorder.attach ?capacity gc in
+  let ty = Gc.register_type gc ~name:"obs.test" in
+  let roots = Roots.new_global (Gc.roots gc) Value.null in
+  for i = 1 to 80_000 do
+    let a = Gc.alloc gc ~ty ~nfields:2 in
+    Gc.write gc a 0 (Value.of_int i);
+    if i mod 64 = 0 then Roots.set_global (Gc.roots gc) roots (Value.of_addr a)
+    else Gc.write gc a 1 (Roots.get_global (Gc.roots gc) roots)
+  done;
+  Gc.full_collect gc;
+  Recorder.detach recorder;
+  (gc, recorder)
+
+(* ---- Ring ---- *)
+
+let test_ring () =
+  let r = Ring.create ~capacity:4 ~dummy:0 in
+  checkb "fresh is empty" true (Ring.is_empty r);
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  checki "length capped" 4 (Ring.length r);
+  checki "dropped counts overflow" 6 (Ring.dropped r);
+  checki "oldest survivor" 7 (Ring.get r 0);
+  checki "newest" 10 (Ring.get r 3);
+  Alcotest.(check (list int)) "oldest-first" [ 7; 8; 9; 10 ] (Ring.to_list r);
+  checki "fold" 34 (Ring.fold r ~init:0 ~f:( + ));
+  Ring.clear r;
+  checki "cleared" 0 (Ring.length r);
+  checki "clear resets dropped" 0 (Ring.dropped r);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Ring.create ~capacity:0 ~dummy:0))
+
+(* ---- pause spans vs the collection log ---- *)
+
+let test_pause_agreement () =
+  let gc, r = traced_run () in
+  let stats = Gc.stats gc in
+  let gcs = Gc_stats.gcs stats in
+  checkb "run collected" true (gcs > 10);
+  checki "recorder saw every pause" gcs (Recorder.collections r);
+  checki "pause arrays aligned" gcs (Array.length (Recorder.pause_durs_us r));
+  let collection_events =
+    List.filter
+      (function Recorder.Collection _ -> true | _ -> false)
+      (Recorder.events r)
+  in
+  checki "nothing dropped" 0 (Recorder.dropped r);
+  checki "one span per logged collection" gcs (List.length collection_events);
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Recorder.Collection { n; reason; emergency; clock_words; copied_words; _ }
+        ->
+        let logged = Beltway_util.Vec.get stats.Gc_stats.collections i in
+        checki "ordinal" logged.Gc_stats.n n;
+        checkb "reason" true (logged.Gc_stats.reason = reason);
+        checkb "emergency" logged.Gc_stats.emergency emergency;
+        checki "clock" logged.Gc_stats.clock_words clock_words;
+        checki "copied" logged.Gc_stats.copied_words copied_words
+      | _ -> ())
+    collection_events;
+  (* Pause starts ascend and durations are non-negative. *)
+  let starts = Recorder.pause_starts_us r in
+  let durs = Recorder.pause_durs_us r in
+  Array.iteri
+    (fun i s ->
+      checkb "dur >= 0" true (durs.(i) >= 0.0);
+      if i > 0 then checkb "starts ascend" true (s >= starts.(i - 1)))
+    starts
+
+let test_phase_spans () =
+  let gc, r = traced_run () in
+  let gcs = Gc_stats.gcs (Gc.stats gc) in
+  let seen = ref 0 in
+  let saw_cheney = ref false and saw_free = ref false in
+  List.iter
+    (function
+      | Recorder.Phase { n; phase; dur_us; _ } ->
+        incr seen;
+        checkb "phase belongs to a logged GC" true (n >= 1 && n <= gcs);
+        checkb "phase dur >= 0" true (dur_us >= 0.0);
+        (match phase with
+        | Gc_stats.Phase_cheney -> saw_cheney := true
+        | Gc_stats.Phase_free -> saw_free := true
+        | _ -> ())
+      | _ -> ())
+    (Recorder.events r);
+  checkb "phase spans recorded" true (!seen > 0);
+  checkb "cheney phase present" true !saw_cheney;
+  checkb "free phase present" true !saw_free
+
+let test_ring_overflow_keeps_pauses () =
+  let gc, r = traced_run ~capacity:8 () in
+  let gcs = Gc_stats.gcs (Gc.stats gc) in
+  checki "ring clamps retained events" 8 (Recorder.event_count r);
+  checkb "overflow counted" true (Recorder.dropped r > 0);
+  (* The pause log lives outside the ring, so the cross-check still
+     sees every collection. *)
+  checki "pauses survive overflow" gcs (Recorder.collections r)
+
+let test_detach_restores_zero_cost () =
+  let gc, _ = traced_run () in
+  checkb "no hooks left installed" true ((Gc.state gc).State.hooks = [])
+
+(* ---- exporters ---- *)
+
+let test_metrics_json () =
+  let gc, r = traced_run () in
+  let gcs = Gc_stats.gcs (Gc.stats gc) in
+  let m = Recorder.metrics r in
+  checki "gc.collections counter" gcs (Metrics.counter m "gc.collections");
+  let json = Metrics.to_json m in
+  Alcotest.(check (option string))
+    "schema" (Some "beltway-metrics/1")
+    (Option.bind (Json.member "schema" json) Json.to_str);
+  let hist name field =
+    Option.bind (Json.member "histograms" json) (fun h ->
+        Option.bind (Json.member name h) (fun e ->
+            Option.bind (Json.member field e) Json.to_float))
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "pause_ns count" (Some (float_of_int gcs))
+    (hist "gc.pause_ns" "count");
+  checkb "p99 present" true (hist "gc.pause_ns" "p99" <> None);
+  checkb "occupancy histogram present" true
+    (hist "increment.occupancy_frames" "count" <> None);
+  (* Round-trips through the parser. *)
+  checkb "parses back" true
+    (match Json.of_string (Json.to_string ~indent:true json) with
+    | _ -> true
+    | exception Json.Parse_error _ -> false)
+
+let test_chrome_trace () =
+  let gc, r = traced_run () in
+  let gcs = Gc_stats.gcs (Gc.stats gc) in
+  let json = Chrome_trace.to_json ~process_name:"obs-test" r in
+  let events =
+    Option.get (Option.bind (Json.member "traceEvents" json) Json.to_list)
+  in
+  let str e name = Option.bind (Json.member name e) Json.to_str in
+  let gc_spans =
+    List.filter (fun e -> str e "ph" = Some "X" && str e "cat" = Some "gc") events
+  in
+  checki "one GC span per collection" gcs (List.length gc_spans);
+  List.iter
+    (fun e ->
+      checkb "span has ts" true (Json.member "ts" e <> None);
+      checkb "span has dur" true (Json.member "dur" e <> None))
+    gc_spans;
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if str e "ph" = Some "M" && str e "name" = Some "thread_name" then
+          Option.bind (Json.member "args" e) (fun a ->
+              Option.bind (Json.member "name" a) Json.to_str)
+        else None)
+      events
+  in
+  checkb "mutator track" true (List.mem "mutator" thread_names);
+  checkb "belt tracks" true (List.exists (fun n -> n <> "mutator") thread_names)
+
+(* ---- MMU cross-check ---- *)
+
+let test_mmu_of_pauses () =
+  let tl =
+    Mmu.of_pauses ~starts:[| 0.0; 10.0 |] ~durs:[| 2.0; 2.0 |] ~total:12.0 ()
+  in
+  checki "pause count" 2 (Mmu.pause_count tl);
+  checkf "max pause" 2.0 (Mmu.max_pause tl);
+  checkf "utilization" (8.0 /. 12.0) (Mmu.utilization tl);
+  (* A window the size of one pause can be fully eaten by it. *)
+  checkf "mmu at pause size" 0.0 (Mmu.mmu tl ~window:2.0)
+
+let test_crosscheck_zero_drift () =
+  (* Recorded durations that are an exact rescaling of the model's
+     (different units, same shape) must report zero drift. *)
+  let starts = [| 0.0; 10.0; 25.0 |] and durs = [| 1.0; 2.0; 3.0 |] in
+  let tl = Mmu.of_pauses ~starts ~durs () in
+  let recorded = Array.map (fun d -> d *. 1000.0) durs in
+  let d = Mmu.crosscheck tl ~recorded_durs:recorded in
+  checki "compared all" 3 d.Mmu.compared;
+  checkf "mean drift" 0.0 d.Mmu.mean_share_dev;
+  checkf "max drift" 0.0 d.Mmu.max_share_dev
+
+let test_crosscheck_real_run () =
+  let gc, r = traced_run () in
+  let stats = Gc.stats gc in
+  let tl = Mmu.timeline Beltway_sim.Cost_model.default stats in
+  let d = Mmu.crosscheck tl ~recorded_durs:(Recorder.pause_durs_us r) in
+  checki "model and recorder agree on pause count" d.Mmu.model_pauses
+    d.Mmu.recorded_pauses;
+  checki "all pauses compared" (Gc_stats.gcs stats) d.Mmu.compared;
+  checkb "shares are fractions" true
+    (d.Mmu.mean_share_dev >= 0.0 && d.Mmu.max_share_dev <= 1.0)
+
+(* ---- Gc_stats edge cases (satellite) ---- *)
+
+let test_empty_stats_summary () =
+  let s = Format.asprintf "%a" Gc_stats.pp_summary (Gc_stats.create ()) in
+  let contains sub =
+    let n = String.length sub in
+    let rec at i =
+      i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+    in
+    at 0
+  in
+  checkb "no NaN in empty summary" false (contains "nan");
+  checkb "no infinity in empty summary" false (contains "inf");
+  checkb "reports zero collections" true (contains "collections: 0")
+
+let test_reason_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (Gc_stats.reason_to_string r))
+        (Option.map Gc_stats.reason_to_string
+           (Gc_stats.reason_of_string (Gc_stats.reason_to_string r))))
+    Gc_stats.all_reasons;
+  checkb "unknown rejected" true (Gc_stats.reason_of_string "bogus" = None)
+
+let suite =
+  [
+    ("ring", `Quick, test_ring);
+    ("pause spans match the collection log", `Quick, test_pause_agreement);
+    ("phase spans", `Quick, test_phase_spans);
+    ("ring overflow keeps the pause log", `Quick, test_ring_overflow_keeps_pauses);
+    ("detach restores the empty hook list", `Quick, test_detach_restores_zero_cost);
+    ("metrics JSON shape", `Quick, test_metrics_json);
+    ("chrome trace shape", `Quick, test_chrome_trace);
+    ("mmu of_pauses", `Quick, test_mmu_of_pauses);
+    ("mmu cross-check zero drift", `Quick, test_crosscheck_zero_drift);
+    ("mmu cross-check real run", `Quick, test_crosscheck_real_run);
+    ("empty stats summary", `Quick, test_empty_stats_summary);
+    ("reason round-trip", `Quick, test_reason_roundtrip);
+  ]

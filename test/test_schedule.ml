@@ -33,7 +33,7 @@ let downward_closure_prop =
       (try Beltway_workload.Trace.execute gc tr
        with Gc.Out_of_memory _ -> ());
       let st = Gc.state gc in
-      match Schedule.choose_plan st ~reason:"heap-full" with
+      match Schedule.choose_plan st ~reason:Beltway.Gc_stats.Heap_full with
       | None -> true
       | Some plan ->
         let in_plan =
@@ -65,7 +65,7 @@ let test_appel_prefers_nursery () =
     ignore (Gc.alloc gc ~ty ~nfields:4)
   done;
   let st = Gc.state gc in
-  match Schedule.choose_plan st ~reason:"heap-full" with
+  match Schedule.choose_plan st ~reason:Beltway.Gc_stats.Heap_full with
   | Some plan ->
     checkb "plan collects only belt 0" true
       (List.for_all
@@ -84,7 +84,7 @@ let test_empty_nursery_escalates () =
   (* empty the nursery into the old generation *)
   Gc.collect gc;
   let st = Gc.state gc in
-  match Schedule.choose_plan st ~reason:"heap-full" with
+  match Schedule.choose_plan st ~reason:Beltway.Gc_stats.Heap_full with
   | Some plan ->
     checkb "escalates to the old generation" true
       (List.exists
@@ -95,7 +95,7 @@ let test_empty_nursery_escalates () =
 let test_plan_none_on_empty_heap () =
   let gc = gc_of "25.25.100" in
   checkb "nothing collectible" true
-    (Schedule.choose_plan (Gc.state gc) ~reason:"heap-full" = None)
+    (Schedule.choose_plan (Gc.state gc) ~reason:Beltway.Gc_stats.Heap_full = None)
 
 let test_fifo_takes_oldest () =
   let gc = gc_of "ofm:25" in
@@ -110,7 +110,7 @@ let test_fifo_takes_oldest () =
     | Some i -> i.Increment.stamp
     | None -> Alcotest.fail "empty belt"
   in
-  match Schedule.choose_plan st ~reason:"heap-full" with
+  match Schedule.choose_plan st ~reason:Beltway.Gc_stats.Heap_full with
   | Some { Collector.increments = [ i ]; _ } ->
     checki "the globally oldest increment" front_stamp i.Increment.stamp
   | Some _ -> Alcotest.fail "expected a single-increment plan"
@@ -122,8 +122,12 @@ let test_collect_now_records_reason () =
   for _ = 1 to 200 do
     ignore (Gc.alloc gc ~ty ~nfields:4)
   done;
-  (match Schedule.collect_now (Gc.state gc) ~reason:"forced" with
-  | Some record -> Alcotest.(check string) "reason" "forced" record.Beltway.Gc_stats.reason
+  (match Schedule.collect_now (Gc.state gc) ~reason:Beltway.Gc_stats.Forced with
+  | Some record ->
+    Alcotest.(check string)
+      "reason" "forced"
+      (Beltway.Gc_stats.reason_to_string record.Beltway.Gc_stats.reason);
+    checkb "not an emergency plan" false record.Beltway.Gc_stats.emergency
   | None -> Alcotest.fail "no collection");
   ()
 

@@ -22,7 +22,8 @@ let stats_with ~words collections =
       Beltway.Gc_stats.record_collection s
         {
           Beltway.Gc_stats.n = 0;
-          reason = "test";
+          reason = Beltway.Gc_stats.Forced;
+          emergency = false;
           clock_words;
           plan_incs = 1;
           plan_frames = 1;

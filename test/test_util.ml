@@ -268,6 +268,73 @@ let test_histogram () =
     (Invalid_argument "Histogram.create: width must be positive") (fun () ->
       ignore (Histogram.create ~bucket_width:0.0 ()))
 
+let test_histogram_quantile () =
+  (* Empty: every quantile is 0. *)
+  let e = Histogram.create ~bucket_width:10.0 () in
+  checkf "empty p50" 0.0 (Histogram.quantile e 0.5);
+  checkf "empty p99" 0.0 (Histogram.quantile e 0.99);
+  (* Single sample: every quantile is (clamped to) that sample. *)
+  let s = Histogram.create ~bucket_width:10.0 () in
+  Histogram.add s 7.0;
+  checkf "single p0" 7.0 (Histogram.quantile s 0.0);
+  checkf "single p50" 7.0 (Histogram.quantile s 0.5);
+  checkf "single p100" 7.0 (Histogram.quantile s 1.0);
+  (* Out-of-range q clamps rather than raises. *)
+  checkf "q below 0" 7.0 (Histogram.quantile s (-1.0));
+  checkf "q above 1" 7.0 (Histogram.quantile s 2.0);
+  (* Heavy tail: 99 small values and one huge one. The p99 bucket is
+     still the small one; p100 must report the outlier exactly. *)
+  let h = Histogram.create ~bucket_width:1.0 () in
+  for _ = 1 to 99 do
+    Histogram.add h 0.5
+  done;
+  Histogram.add h 1000.0;
+  checkb "heavy-tail p50 in first bucket" true (Histogram.quantile h 0.5 <= 1.0);
+  checkb "heavy-tail p99 in first bucket" true (Histogram.quantile h 0.99 <= 1.0);
+  checkf "heavy-tail max" 1000.0 (Histogram.quantile h 1.0);
+  (* Quantiles are monotone in q. *)
+  let prev = ref 0.0 in
+  List.iter
+    (fun q ->
+      let v = Histogram.quantile h q in
+      checkb "monotone" true (v >= !prev);
+      prev := v)
+    [ 0.1; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_histogram_merge () =
+  let mk vs =
+    let h = Histogram.create ~bucket_width:10.0 () in
+    List.iter (Histogram.add h) vs;
+    h
+  in
+  (* Merging with empty preserves everything. *)
+  let a = mk [ 1.0; 15.0; 99.0 ] in
+  let m = Histogram.merge a (mk []) in
+  checki "merge-empty count" 3 (Histogram.count m);
+  checkf "merge-empty max" 99.0 (Histogram.max_value m);
+  checkf "merge-empty mean" (Histogram.mean a) (Histogram.mean m);
+  (* Merge equals the histogram of the concatenated samples. *)
+  let xs = [ 1.0; 5.0; 15.0 ] and ys = [ 15.0; 99.0 ] in
+  let both = Histogram.merge (mk xs) (mk ys) in
+  let direct = mk (xs @ ys) in
+  checki "count" (Histogram.count direct) (Histogram.count both);
+  checkf "mean" (Histogram.mean direct) (Histogram.mean both);
+  checkf "max" (Histogram.max_value direct) (Histogram.max_value both);
+  check
+    Alcotest.(list (pair (float 1e-9) int))
+    "buckets"
+    (Histogram.buckets direct)
+    (Histogram.buckets both);
+  (* Inputs are not mutated. *)
+  checki "left untouched" 3 (Histogram.count (mk xs));
+  (* Incompatible widths are rejected. *)
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Histogram.merge: bucket widths differ") (fun () ->
+      ignore
+        (Histogram.merge
+           (Histogram.create ~bucket_width:1.0 ())
+           (Histogram.create ~bucket_width:2.0 ())))
+
 (* ---- Json ---- *)
 
 let test_json_print () =
@@ -368,6 +435,8 @@ let suite =
     ("table arity", `Quick, test_table_arity);
     ("table csv", `Quick, test_table_csv);
     ("histogram", `Quick, test_histogram);
+    ("histogram quantile", `Quick, test_histogram_quantile);
+    ("histogram merge", `Quick, test_histogram_merge);
     ("json print", `Quick, test_json_print);
     ("json parse", `Quick, test_json_parse);
     ("json malformed", `Quick, test_json_malformed);

@@ -1,0 +1,59 @@
+The GC flight recorder, end to end: a traced workload run and a traced
+Beltlang program must both produce Chrome trace_event and metrics JSON
+files that pass the bench harness's schema checks.
+
+  $ beltway-run -b db -H 1920 -q --trace db.trace.json --metrics db.metrics.json
+  $ beltway-bench --validate db.trace.json
+  db.trace.json: ok
+  $ beltway-bench --validate db.metrics.json
+  db.metrics.json: ok
+
+With tracing on, beltway-run reports the pause log and the cost-model
+cross-check alongside the usual summary:
+
+  $ beltway-run -b db -H 1920 --trace db2.trace.json | grep -cE 'MMU cross-check|trace:'
+  2
+
+The trace's GC pause spans agree 1:1 with the collection log: the span
+count equals the "collections:" line of the stats summary.
+
+  $ beltway-run -b db -H 1920 --trace db3.trace.json | sed -n 's/^collections: \([0-9]*\) .*/\1/p'
+  13
+  $ grep -c '"cat": "gc",' db3.trace.json
+  13
+
+BELTWAY_TRACE is the environment spelling of --trace:
+
+  $ BELTWAY_TRACE=env.trace.json beltway-run -b db -H 1920 -q
+  $ beltway-bench --validate env.trace.json
+  env.trace.json: ok
+
+The Beltlang interpreter exports the same way:
+
+  $ beltlang -p queue-churn --trace bl.trace.json --metrics bl.metrics.json
+  20000
+  64
+  $ beltway-bench --validate bl.trace.json
+  bl.trace.json: ok
+  $ beltway-bench --validate bl.metrics.json
+  bl.metrics.json: ok
+
+Tracing must not perturb the simulation: a traced and an untraced run
+print byte-identical statistics (wall clock aside, everything the
+summary reports is allocation-clock deterministic).
+
+  $ beltway-run -b db -H 1920 -q --verify --trace det.trace.json > traced.txt
+  $ beltway-run -b db -H 1920 -q --verify > plain.txt
+  $ diff plain.txt traced.txt
+
+Malformed trace and metrics files are rejected by the validator:
+
+  $ echo '{"traceEvents": [{"ph": "X"}]}' > broken.trace.json
+  $ beltway-bench --validate broken.trace.json
+  broken.trace.json: entry missing string field "name"
+  [1]
+
+  $ echo '{"schema": "beltway-metrics/1", "counters": {}, "gauges": {}}' > broken.metrics.json
+  $ beltway-bench --validate broken.metrics.json
+  broken.metrics.json: missing or non-object "histograms"
+  [1]
