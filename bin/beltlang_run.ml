@@ -37,6 +37,11 @@ let run config_str heap_kb source_file builtin list_programs show_stats
     Printf.eprintf "error: %s\n" e;
     exit 2
   | Ok config ->
+    (match Beltway.Policy.resolve config with
+    | Ok _ -> ()
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2);
     let source =
       match (builtin, source_file) with
       | Some name, _ -> (
@@ -97,8 +102,8 @@ let run config_str heap_kb source_file builtin list_programs show_stats
         metrics);
     print_string (Beltlang.Interp.output interp);
     if show_stats then
-      Format.eprintf "[gc %a] %a@." Beltway.Config.pp config Beltway.Gc_stats.pp_summary
-        (Beltway.Gc.stats gc);
+      (* the summary header names the configuration and its policy *)
+      Format.eprintf "[gc] %a@." Beltway.Gc_stats.pp_summary (Beltway.Gc.stats gc);
     (* Integrity reporting only makes sense for completed runs (an OOM
        can abort mid-collection, leaving forwarding pointers behind). *)
     if status = 0 then begin

@@ -19,13 +19,35 @@ let sanitizer_report san =
     if not (Beltway_check.Sanitizer.ok san) then exit 1
   end
 
+let list_policies () =
+  List.iter
+    (fun (name, _) ->
+      Printf.printf "%-12s %s\n%-12s exemplar: %s\n" name
+        (Beltway.Policy.describe name) ""
+        (Beltway.Policy.exemplar name))
+    Beltway.Policy.registry;
+  exit 0
+
 let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
-    metrics =
+    metrics policy =
+  if policy = Some "list" then list_policies ();
+  let config_str =
+    match policy with
+    | Some name -> config_str ^ "+policy:" ^ name
+    | None -> config_str
+  in
   match Beltway.Config.parse config_str with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
     exit 2
   | Ok config -> (
+    (* Resolve early so an unknown +policy:NAME is a clean CLI error,
+       not an Invalid_argument out of Gc.create. *)
+    (match Beltway.Policy.resolve config with
+    | Ok _ -> ()
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2);
     match Beltway_workload.Spec.by_name bench_name with
     | None ->
       Printf.eprintf "error: unknown benchmark %S (have: %s)\n" bench_name
@@ -83,7 +105,7 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
         if not quiet then begin
           Format.printf "benchmark:   %s (%s)@." bench.Beltway_workload.Spec.name
             bench.Beltway_workload.Spec.description;
-          Format.printf "collector:   %a@." Beltway.Config.pp config;
+          (* the collector itself is named by the summary header below *)
           Format.printf "heap:        %d KB (%d frames of %d KB)@."
             (Beltway.Gc.heap_bytes gc / 1024)
             (Beltway.Gc.heap_frames gc)
@@ -177,12 +199,20 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let policy_arg =
+  let doc =
+    "Select the collector policy from the registry by $(docv) (shorthand for \
+     a +policy:$(docv) suffix on the configuration); $(b,--policy list) \
+     prints the registry and exits."
+  in
+  Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
+
 let cmd =
   let doc = "run a synthetic benchmark under a Beltway collector configuration" in
   Cmd.v
     (Cmd.info "beltway-run" ~doc)
     Term.(
       const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg
-      $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg)
+      $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg $ policy_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -17,6 +17,7 @@ let configs =
     ("of:25", "older-first (BOF)");
     ("25.25", "Beltway 25.25 (incomplete)");
     ("25.25.100", "Beltway 25.25.100 (complete)");
+    ("25.25+policy:sweep:6", "Beltway 25.25, complete by schedule");
     ("25.25.100+cards", "... with a card-table barrier");
     ("25.25.100+los:256", "... with a large object space");
   ]

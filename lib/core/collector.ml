@@ -19,16 +19,6 @@ let evacuation_frames p =
       if i.Increment.pinned then acc else acc + Increment.occupancy_frames i)
     0 p.increments
 
-(* Destination belt for survivors of an increment on [belt]. Pinned
-   (LOS) increments are never evacuated, so only configured belts can
-   appear here; the top configured belt wraps onto itself. *)
-let dest_belt st belt =
-  let regular = State.regular_belts st in
-  let belt = min belt (regular - 1) in
-  match st.State.config.Config.belts.(belt).Config.promote with
-  | Config.Same_belt -> belt
-  | Config.Next_belt -> if belt + 1 < regular then belt + 1 else belt
-
 type dest = { inc : Increment.t; pos : Increment.pos }
 
 (* The hot path below is deliberately allocation-free per object and
@@ -126,7 +116,7 @@ let collect st plan =
      in-plan frames and destinations in just-granted frames, both live
      for the whole collection. *)
   let copy (src_inc : Increment.t) addr size =
-    let belt = dest_belt st src_inc.Increment.belt in
+    let belt = State.dest_belt st src_inc.Increment.belt in
     let new_addr = dest_alloc belt size in
     (* Objects never span frames (only pinned LOS increments do, and
        those are marked in place), so the whole object moves as one
@@ -183,9 +173,10 @@ let collect st plan =
   phase Gc_stats.Phase_roots false;
 
   (* Record that a surviving slot still holds an interesting pointer,
-     in whichever bookkeeping the configuration uses. The predicate is
-     the write barrier's, inlined over the already-flat stamp table. *)
-  let use_cards = st.State.config.Config.barrier = Config.Cards in
+     in whichever bookkeeping the policy's barrier discipline uses. The
+     predicate is the write barrier's, inlined over the already-flat
+     stamp table. *)
+  let use_cards = st.State.policy.State.barrier = State.Barrier_cards in
   let remsets = st.State.remsets in
   let cards = st.State.cards in
   let re_remember ~slot ~src ~tgt =
@@ -232,8 +223,8 @@ let collect st plan =
     done
   in
 
-  (match st.State.config.Config.barrier with
-  | Config.Remsets ->
+  (match st.State.policy.State.barrier with
+  | State.Barrier_remsets _ ->
     phase Gc_stats.Phase_remset true;
     (* Remembered slots targeting the plan from outside it. Snapshot
        first (into scratch reused across collections): forwarding
@@ -261,7 +252,7 @@ let collect st plan =
     done;
     Vec.clear pending_slots;
     phase Gc_stats.Phase_remset false
-  | Config.Cards ->
+  | State.Barrier_cards ->
     phase Gc_stats.Phase_cards true;
     (* Card scanning: every dirty frame outside the plan may hold
        pointers into it. Scan the owning increments object by object —

@@ -19,6 +19,7 @@ type t = {
   min_useful_frames : int;
   los_threshold : int option;
   barrier : barrier;
+  policy : string option;
 }
 
 let validate t =
@@ -54,6 +55,7 @@ let base ~label ~belts ~stamp_mode ~order =
     min_useful_frames = 2;
     los_threshold = None;
     barrier = Remsets;
+    policy = None;
   }
 
 let pct_bound x = if x >= 100 then Whole_heap else Pct x
@@ -196,6 +198,12 @@ let apply_option cfg opt =
     Result.map (fun n -> { cfg with los_threshold = Some n }) (parse_int "los" n)
   | [ "cards" ] -> Ok { cfg with barrier = Cards }
   | [ "remsets" ] -> Ok { cfg with barrier = Remsets }
+  | "policy" :: (name :: _ as spec) when name <> "" ->
+    (* The raw "name[:arg]" spec; existence and arguments are checked
+       against the registry by [Policy.resolve] (Config stays a pure
+       parser with no dependency on the policy constructors). *)
+    Ok { cfg with policy = Some (String.concat ":" spec) }
+  | [ "policy" ] -> Error "policy: expected a registry name (try +policy:NAME)"
   | _ -> Error (Printf.sprintf "unknown option %S" opt)
 
 let parse_base s =

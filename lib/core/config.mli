@@ -85,6 +85,13 @@ type t = {
           disables the LOS (the paper's GCTk had none; this is the
           extension its S5 discusses). *)
   barrier : barrier;  (** pointer-tracking mechanism *)
+  policy : string option;
+      (** Explicit policy selection, as the raw ["name[:arg]"] spec
+          from [+policy:...]. [None] selects the default for the
+          configuration's [order] ([Lowest_belt] -> "beltway",
+          [Global_fifo] -> "older-first"). Resolved against
+          [Policy.registry] by [Policy.resolve]; [Config] itself never
+          interprets it. *)
 }
 
 val validate : t -> (t, string) result
@@ -144,7 +151,9 @@ val parse : string -> (t, string) result
     ["+nofilter"], ["+filter"], ["+ttd:FRAMES"], ["+remtrig:N"],
     ["+halfreserve"], ["+dynreserve"], ["+minuseful:N"],
     ["+los:WORDS"] (large object space threshold),
-    ["+cards"] / ["+remsets"] (pointer-tracking mechanism).
+    ["+cards"] / ["+remsets"] (pointer-tracking mechanism),
+    ["+policy:NAME[:ARG]"] (explicit policy-registry selection, e.g.
+    ["+policy:sweep:8"]; see [Policy.registry]).
     E.g. ["25.25.100+remtrig:100000"] or ["appel+los:256"]. *)
 
 val to_string : t -> string

@@ -1,14 +1,5 @@
 let pad st = Array.length st.State.belts + 2
 
-(* Destination belt for survivors of an increment currently on [belt];
-   pinned LOS increments never move, so only configured belts matter. *)
-let dest_belt st belt =
-  let regular = State.regular_belts st in
-  let belt = min belt (regular - 1) in
-  match st.State.config.Config.belts.(belt).Config.promote with
-  | Config.Same_belt -> belt
-  | Config.Next_belt -> if belt + 1 < regular then belt + 1 else belt
-
 let dynamic_frames st =
   (* Floor: the largest bounded increment size — a fresh increment of
      that size could always fill and require evacuation. *)
@@ -27,7 +18,7 @@ let dynamic_frames st =
   List.iter
     (fun (inc : Increment.t) ->
       if not inc.Increment.pinned then begin
-        let d = dest_belt st inc.Increment.belt in
+        let d = State.dest_belt st inc.Increment.belt in
         let occ = Increment.occupancy_frames inc in
         let best_occ, _ = in_best.(d) in
         if occ > best_occ then begin
@@ -60,19 +51,16 @@ let dynamic_frames st =
   in
   max floor_frames potential + pad st
 
-let frames st =
-  match st.State.config.Config.reserve with
-  | Config.Half ->
-    (* "Slightly more generous" than half: copied data may not pack as
-       well as the original (frame-seam waste), so the fixed reserve
-       carries the same pad as the dynamic one. *)
-    (st.State.heap_frames / 2) + pad st
-  | Config.Dynamic ->
-    (* Deliberately NOT capped at half the heap: the uncapped formula
-       is what keeps the allocation gate self-limiting — while a large
-       unbounded belt dominates occupancy, the reserve tracks it, so
-       occupancy can never outgrow the space needed to evacuate it
-       (the paper: the reserve "grows until it is finally half of the
-       heap, so that the third belt occupancy and the copy reserve are
-       equal in size"). *)
-    dynamic_frames st
+(* "Slightly more generous" than half: copied data may not pack as
+   well as the original (frame-seam waste), so the fixed reserve
+   carries the same pad as the dynamic one. *)
+let half_frames st = (st.State.heap_frames / 2) + pad st
+
+(* The dynamic reserve is deliberately NOT capped at half the heap: the
+   uncapped formula is what keeps the allocation gate self-limiting —
+   while a large unbounded belt dominates occupancy, the reserve tracks
+   it, so occupancy can never outgrow the space needed to evacuate it
+   (the paper: the reserve "grows until it is finally half of the heap,
+   so that the third belt occupancy and the copy reserve are equal in
+   size"). *)
+let frames st = st.State.policy.State.reserve_frames st

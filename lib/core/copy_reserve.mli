@@ -17,9 +17,18 @@
     "continuously maximizing usable memory". *)
 
 val frames : State.t -> int
-(** The reserve in frames under the state's configuration ([Half] or
-    [Dynamic]). Allocation must keep
+(** The reserve in frames, as the installed policy computes it (its
+    [reserve_frames] hook, normally {!half_frames} or
+    {!dynamic_frames}). Allocation must keep
     [frames_used + incoming + frames st <= heap_frames]. *)
+
+val half_frames : State.t -> int
+(** The classic half-heap reserve plus {!pad} — the mechanism behind
+    [Config.Half]; exposed for policies to install. *)
+
+val dynamic_frames : State.t -> int
+(** The paper's dynamic conservative reserve — the mechanism behind
+    [Config.Dynamic]; exposed for policies to install. *)
 
 val pad : State.t -> int
 (** The fragmentation pad included in {!frames} (also used by the

@@ -1,6 +1,6 @@
 (** Flat per-frame collector metadata: the GC hot-path side tables.
 
-    The successor of {!Frame_info}'s two bare arrays, extended so the
+    The successor of the legacy [Frame_info] oracle's two bare arrays (now [Beltway_check.Frame_info], kept as the differential-test reference), extended so the
     collector's [forward] never touches a hashtable: each frame carries
     its collect stamp (paper S3.3.1) plus a packed word holding the
     owning increment id, a pinned bit (large-object increments are
@@ -11,7 +11,7 @@
     from a second — no [Hashtbl.mem], no closure.
 
     Stamps are [priority * 2^40 + sequence] exactly as before
-    ({!Frame_info} documents the scheme); they keep a dedicated array
+    ([Beltway_check.Frame_info] documents the scheme); they keep a dedicated array
     because {!immortal_stamp} is [max_int], which no packing could
     share a word with. *)
 

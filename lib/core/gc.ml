@@ -12,7 +12,12 @@ let stamp_boot_frames st =
 let create ?(frame_log_words = 10) ~config ~heap_bytes () =
   let frame_bytes = (1 lsl frame_log_words) * Addr.bytes_per_word in
   let heap_frames = max 4 ((heap_bytes + frame_bytes - 1) / frame_bytes) in
-  let st = State.create ~config ~heap_frames ~frame_log_words in
+  let policy =
+    match Policy.resolve config with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Gc.create: " ^ e)
+  in
+  let st = State.create ~config ~policy ~heap_frames ~frame_log_words in
   stamp_boot_frames st;
   st
 
@@ -83,6 +88,7 @@ let type_of st obj = Type_registry.id_of_tib st.State.types (Object_model.tib st
 let roots st = st.State.roots
 let stats st = st.State.stats
 let config st = st.State.config
+let policy_name st = st.State.policy.State.policy_name
 let collect st = ignore (Schedule.collect_now st ~reason:Gc_stats.Forced)
 let full_collect st = ignore (Schedule.full_collect st)
 let heap_frames st = st.State.heap_frames
@@ -99,7 +105,7 @@ let pp_heap fmt st =
   Format.fprintf fmt "@[<v>heap: %d/%d frames used, reserve %d, remsets %d entries"
     st.State.frames_used st.State.heap_frames (Copy_reserve.frames st)
     (Remset.total_entries st.State.remsets);
-  if st.State.config.Config.barrier = Config.Cards then
+  if st.State.policy.State.barrier = State.Barrier_cards then
     Format.fprintf fmt ", %d dirty cards" (Card_table.dirty_count st.State.cards);
   Array.iter
     (fun belt ->

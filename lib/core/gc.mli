@@ -24,8 +24,12 @@ exception Out_of_memory of string
 val create : ?frame_log_words:int -> config:Config.t -> heap_bytes:int -> unit -> t
 (** A fresh heap. [frame_log_words] (default 10, i.e. 4 KiB frames)
     sets the frame granularity; [heap_bytes] is the collector's
-    budget, rounded up to whole frames (minimum 4 frames).
-    @raise Invalid_argument on an invalid configuration. *)
+    budget, rounded up to whole frames (minimum 4 frames). The
+    collector policy is resolved from the configuration through
+    [Policy.resolve] (its default for the configuration's order, or
+    the explicit [+policy:NAME] selection).
+    @raise Invalid_argument on an invalid configuration or an unknown
+    policy. *)
 
 val register_type : t -> name:string -> Type_registry.id
 (** Register (or look up) a type; allocates its immortal type object in
@@ -58,6 +62,10 @@ val type_of : t -> Addr.t -> Type_registry.id option
 val roots : t -> Roots.t
 val stats : t -> Gc_stats.t
 val config : t -> Config.t
+
+val policy_name : t -> string
+(** Registry name of the installed collector policy (see
+    [Policy.registry]). *)
 
 val collect : t -> unit
 (** Force one policy collection (no-op on an empty heap). *)

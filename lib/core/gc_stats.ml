@@ -84,6 +84,8 @@ let dummy_collection =
   }
 
 type t = {
+  mutable config_label : string;
+  mutable policy_name : string;
   mutable words_allocated : int;
   mutable objects_allocated : int;
   mutable barrier_ops : int;
@@ -97,6 +99,8 @@ type t = {
 
 let create () =
   {
+    config_label = "";
+    policy_name = "";
     words_allocated = 0;
     objects_allocated = 0;
     barrier_ops = 0;
@@ -124,8 +128,14 @@ let pp_summary fmt t =
   let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den in
   let per num den = if den <= 0 then 0.0 else float_of_int num /. float_of_int den in
   let n = gcs t in
+  (* The attribution header prints only for statistics belonging to a
+     heap (State.create fills both fields); a bare [create ()] keeps
+     the historical four-line shape. *)
+  Format.fprintf fmt "@[<v>";
+  if t.config_label <> "" || t.policy_name <> "" then
+    Format.fprintf fmt "collector: %s [policy %s]@," t.config_label t.policy_name;
   Format.fprintf fmt
-    "@[<v>allocated: %d words in %d objects@,\
+    "allocated: %d words in %d objects@,\
      barriers: %d (%d fast, %d slow, %d filtered = %.1f%%)@,\
      collections: %d (copied %d words, freed %d frames, peak %d frames)@,\
      per GC: %.1f words copied, %.1f frames freed, %.1f remset slots@]"

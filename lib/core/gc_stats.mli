@@ -63,6 +63,12 @@ val collection_label : collection -> string
     span names. *)
 
 type t = {
+  mutable config_label : string;
+      (** configuration string these statistics belong to (filled by
+          [State.create]; [""] for bare statistics) *)
+  mutable policy_name : string;
+      (** registry name of the installed policy (filled by
+          [State.create]; [""] for bare statistics) *)
   mutable words_allocated : int;
   mutable objects_allocated : int;
   mutable barrier_ops : int;  (** barrier executions (every pointer store) *)
@@ -84,5 +90,7 @@ val total_freed_frames : t -> int
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-paragraph human-readable summary, including the barrier-filter
-    rate as a percentage and per-collection averages. Safe on empty
-    statistics: a zero-collection run prints zeros, never NaN. *)
+    rate as a percentage and per-collection averages. Statistics that
+    belong to a heap open with a [collector: <config> [policy <name>]]
+    header so traces and reports are attributable to a policy. Safe on
+    empty statistics: a zero-collection run prints zeros, never NaN. *)

@@ -1,0 +1,92 @@
+(** The collector-policy registry: constructing {!State.policy} records
+    from configurations.
+
+    The paper's central claim is that one belts-and-increments
+    framework acts as every copying collector; this module is where a
+    collector {e family} becomes a value. A policy owns the four
+    decisions the framework leaves open — target choice, barrier
+    discipline, the trigger cascade, and the copy-reserve rule — and
+    [Schedule]/[Write_barrier]/[Collector]/[Copy_reserve] dispatch
+    through whichever record is installed on the state. [Config] stays
+    a pure parser: it selects and parameterises a policy (by [order]
+    default or an explicit [+policy:NAME[:ARG]] suffix) but encodes no
+    behaviour itself.
+
+    Registering a new collector means adding one entry to
+    {!registry}; the schedule, collector internals, figures, benches
+    and the [@policy] conformance suite pick it up unchanged. *)
+
+type of_config = Config.t -> (State.policy, string) result
+(** A policy constructor: build a policy parameterised by a validated
+    configuration, or explain why the combination is unsound (e.g. the
+    nursery-source filter under FIFO order). *)
+
+val registry : (string * of_config) list
+(** The registered policies, keyed by the name accepted by
+    [+policy:NAME] and reported by [--policy list]. *)
+
+val names : string list
+(** Registry keys, in registration order. *)
+
+val describe : string -> string
+(** One-line human description of a registered policy.
+    @raise Invalid_argument for an unknown key. *)
+
+val exemplar : string -> string
+(** A representative configuration string that resolves to this policy
+    — what the benches, figures and conformance tests run.
+    @raise Invalid_argument for an unknown key. *)
+
+val name : State.policy -> string
+(** The registry key a policy was built under. *)
+
+val default_name : Config.t -> string
+(** The registry key selected when the configuration carries no
+    explicit [+policy:] spec: ["beltway"] for [Lowest_belt]
+    configurations, ["older-first"] for [Global_fifo]. *)
+
+val resolve : Config.t -> (State.policy, string) result
+(** Build the policy the configuration selects (explicit spec or
+    {!default_name}), parameterised by its knobs. *)
+
+val resolve_exn : Config.t -> State.policy
+(** {!resolve}, raising [Invalid_argument] on error. *)
+
+(** {2 Mechanism pieces}
+
+    Exposed so new policies can be composed from the same parts the
+    built-in ones use. *)
+
+val lowest_belt_target : State.t -> Increment.t list
+(** Generational / Beltway target choice: the front increment of the
+    lowest belt whose front is worth collecting (with middle-belt
+    overflow preemption), then lower-belt degradation candidates. *)
+
+val fifo_target : State.t -> Increment.t list
+(** Global-FIFO target choice: the globally oldest non-empty front. *)
+
+val max_stamp_increment : State.t -> Increment.t option
+(** The highest-stamped live increment — the target whose downward
+    closure is the whole heap. *)
+
+val generational_alloc_trigger : State.t -> size:int -> State.alloc_action
+(** Remset threshold, nursery bound, heap-full, time-to-die — in that
+    order. *)
+
+val fifo_alloc_trigger : State.t -> size:int -> State.alloc_action
+(** As {!generational_alloc_trigger}, but a nursery at its bound opens
+    another allocation window instead of forcing a collection. *)
+
+val pretenure_trigger : State.t -> State.alloc_action
+(** Heap-full and remset triggers only (nursery triggers govern belt 0
+    alone). *)
+
+val large_trigger : State.t -> incoming_frames:int -> State.alloc_action
+(** Heap-full (accounting for the object's frames) and remset
+    triggers. *)
+
+val promote_of_config : Config.t -> int array
+(** The per-belt promotion map a configuration's belt array denotes. *)
+
+val barrier_of_config : Config.t -> State.barrier_discipline
+val reserve_of_config : Config.t -> State.t -> int

@@ -7,87 +7,15 @@ let nursery st =
   | Some inc when (not inc.Increment.sealed) && not (Increment.at_bound inc) -> inc
   | Some inc when not inc.Increment.sealed -> inc (* at bound: caller collects *)
   | _ ->
-    (* No open nursery. BOF: when the allocation belt has emptied, the
-       belts flip before allocation resumes. *)
-    if
-      st.State.config.Config.flip
-      && Belt.is_empty st.State.belts.(0)
-      && not (Belt.is_empty st.State.belts.(1))
-    then State.flip_belts st;
+    (* No open nursery: let the policy refresh the allocation belt
+       first (BOF flips here) before a new increment is created. *)
+    st.State.policy.State.refresh_nursery st;
     State.new_increment st ~belt:0
 
 let closure st (target : Increment.t) =
   List.filter
     (fun (i : Increment.t) -> i.Increment.stamp <= target.Increment.stamp)
     (State.live_increments st)
-
-(* Front increments, one per non-empty belt, in belt order. *)
-let fronts st =
-  Array.to_list st.State.belts |> List.filter_map Belt.front
-
-let min_stamp_front st =
-  fronts st
-  |> List.filter (fun (i : Increment.t) -> Increment.occupancy_frames i > 0)
-  |> List.fold_left
-       (fun acc (i : Increment.t) ->
-         match acc with
-         | Some (b : Increment.t) when b.Increment.stamp <= i.Increment.stamp -> acc
-         | _ -> Some i)
-       None
-
-let worthwhile st (i : Increment.t) =
-  Increment.occupancy_frames i >= st.State.config.Config.min_useful_frames
-
-(* Candidate targets in *decreasing* preference order: the policy's
-   first choice first, then lower-belt fall-backs for feasibility
-   degradation. *)
-let candidates st =
-  match st.State.config.Config.order with
-  | Config.Global_fifo -> Option.to_list (min_stamp_front st)
-  | Config.Lowest_belt ->
-    (* Empty increments are never useful targets: collecting one frees
-       nothing and stalls the cascade. *)
-    let fs =
-      List.filter (fun (i : Increment.t) -> Increment.occupancy_frames i > 0) (fronts st)
-    in
-    (* Middle-belt fullness (paper S3.2: "when the higher belt becomes
-       full, it collects the oldest increment in the higher belt"): a
-       bounded middle belt holding more than two increments' worth is
-       full — drain its front now, so garbage flows on to the top belt
-       instead of accumulating until the terminal collection can no
-       longer be afforded. The paper's steady state for 33.33 — "two
-       completely full increments on belt 1" — is exactly this bound. *)
-    let nbelts = State.regular_belts st in
-    let overflowing =
-      List.filter
-        (fun (i : Increment.t) ->
-          let b = i.Increment.belt in
-          b > 0 && b < nbelts - 1
-          &&
-          match st.State.belt_bounds.(b) with
-          | Some x -> Belt.occupancy_frames st.State.belts.(b) > 2 * x
-          | None -> false)
-        fs
-      |> List.rev (* highest such belt first *)
-    in
-    let first_worthwhile = List.find_opt (worthwhile st) fs in
-    let chosen =
-      match (overflowing, first_worthwhile) with
-      | o :: _, _ -> Some o
-      | [], Some i -> Some i
-      | [], None -> (
-        (* Nothing worthwhile: take the highest non-empty belt (the
-           paper's "heap is considered full" case forcing a major
-           collection). *)
-        match List.rev fs with last :: _ -> Some last | [] -> None)
-    in
-    (match chosen with
-    | None -> []
-    | Some c ->
-      (* Degradation candidates: every front on a belt lower than or
-         equal to the chosen one, highest belt first. *)
-      List.filter (fun (i : Increment.t) -> i.Increment.belt <= c.Increment.belt) fs
-      |> List.rev)
 
 (* Evacuating the plan needs at most its own occupancy plus one
    partially filled frame per destination belt; the copy reserve's pad
@@ -123,9 +51,6 @@ let choose_plan st ~reason =
         pick rest
       end
   in
-  (* Proactive completeness: once the full-collection watermark is
-     reached, collect the whole heap now — the live estimate says it
-     fits even when the conservative occupancy test does not. *)
   (* A pinned (LOS) target would be chosen again and again if it turns
      out to be live (it is retained in place, staying the belt front),
      stalling the cascade. When a plan reaches the LOS belt, take the
@@ -138,7 +63,10 @@ let choose_plan st ~reason =
       | None -> c
     else c
   in
-  let cands = List.map widen_pinned (candidates st) in
+  (* Target choice is the policy's; the schedule owns plan shape
+     (downward closure), feasibility degradation along the candidate
+     list, and the emergency fallback. *)
+  let cands = List.map widen_pinned (st.State.policy.State.target st) in
   match pick cands with
   | Some plan -> Some plan
   | None -> (
@@ -165,15 +93,7 @@ let collect_now st ~reason =
   | Some plan -> Some (Collector.collect st plan)
 
 let full_collect st =
-  let all = State.live_increments st in
-  match
-    List.fold_left
-      (fun acc (i : Increment.t) ->
-        match acc with
-        | Some (b : Increment.t) when b.Increment.stamp >= i.Increment.stamp -> acc
-        | _ -> Some i)
-      None all
-  with
+  match Policy.max_stamp_increment st with
   | None -> None
   | Some target ->
     Some
@@ -196,27 +116,24 @@ let alloc_large st ~size =
       raise
         (State.Out_of_memory
            (Printf.sprintf "no progress making room for a %d-word large object" size));
-    if Trigger.remset_due st || Trigger.heap_full st ~incoming_frames:k then begin
-      let reason =
-        if Trigger.remset_due st then Gc_stats.Remset else Gc_stats.Heap_full
-      in
+    match st.State.policy.State.large_trigger st ~incoming_frames:k with
+    | State.Alloc_collect reason -> (
       Trigger.fired st ~reason;
       match collect_now st ~reason with
       | Some _ -> go (attempts + 1)
       | None ->
         raise
           (State.Out_of_memory
-             (Printf.sprintf "nothing collectible for a %d-word large object" size))
-    end
-    else State.new_pinned_increment st ~size
+             (Printf.sprintf "nothing collectible for a %d-word large object" size)))
+    | State.Alloc_grant | State.Alloc_open_nursery | State.Alloc_split_nursery ->
+      State.new_pinned_increment st ~size
   in
   go 0
 
 let prepare_alloc_in st ~belt ~size =
   (* Pretenured allocation (segregation by allocation site, paper S5):
-     bump directly in the open increment of a higher belt. Only the
-     heap-full and remset triggers apply — nursery-specific triggers
-     (bound, TTD) govern belt 0 only. *)
+     bump directly in the open increment of a higher belt, under the
+     policy's pretenure cascade. *)
   if belt < 1 || belt >= State.regular_belts st then
     invalid_arg (Printf.sprintf "Schedule.prepare_alloc_in: bad belt %d" belt);
   if size > Memory.frame_words st.State.mem then
@@ -246,12 +163,13 @@ let prepare_alloc_in st ~belt ~size =
       && inc.Increment.cursor <> Addr.null
       && inc.Increment.cursor + size <= inc.Increment.limit
     then inc
-    else if Trigger.remset_due st then collect Gc_stats.Remset
-    else if Trigger.heap_full st ~incoming_frames:1 then collect Gc_stats.Heap_full
-    else begin
-      State.grant_frame st inc ~during_gc:false;
-      go attempts
-    end
+    else
+      match st.State.policy.State.pretenure_trigger st with
+      | State.Alloc_collect reason -> collect reason
+      | State.Alloc_grant | State.Alloc_open_nursery | State.Alloc_split_nursery
+        ->
+        State.grant_frame st inc ~during_gc:false;
+        go attempts
   in
   go 0
 
@@ -285,33 +203,27 @@ let prepare_alloc st ~size =
       && nur.Increment.cursor <> Addr.null
       && nur.Increment.cursor + size <= nur.Increment.limit
     then nur
-    else if Trigger.remset_due st then collect Gc_stats.Remset
-    else if Trigger.nursery_full st ~size then
-      (* Nursery trigger: only meaningful for Lowest_belt policies;
-         Global_fifo (older-first) configurations instead open another
-         increment on the allocation belt if there is room. *)
-      match st.State.config.Config.order with
-      | Config.Lowest_belt -> collect Gc_stats.Nursery
-      | Config.Global_fifo ->
-        if Trigger.heap_full st ~incoming_frames:1 then collect Gc_stats.Heap_full
-        else begin
-          let fresh = State.new_increment st ~belt:0 in
-          State.grant_frame st fresh ~during_gc:false;
-          go attempts
-        end
-    else if Trigger.heap_full st ~incoming_frames:1 then collect Gc_stats.Heap_full
-    else if Trigger.ttd_due st then begin
-      (* Time-to-die: seal the current nursery increment and direct the
-         youngest allocation into a fresh one that the next nursery
-         collection will spare. *)
-      Increment.seal nur;
-      let fresh = State.new_increment st ~belt:0 in
-      State.grant_frame st fresh ~during_gc:false;
-      go attempts
-    end
-    else begin
-      State.grant_frame st nur ~during_gc:false;
-      go attempts
-    end
+    else
+      (* The allocation does not fit: the policy's trigger cascade
+         decides among collecting, granting a frame, opening another
+         allocation window, or a time-to-die nursery split; the
+         schedule interprets the verdict mechanically. *)
+      match st.State.policy.State.alloc_trigger st ~size with
+      | State.Alloc_collect reason -> collect reason
+      | State.Alloc_open_nursery ->
+        let fresh = State.new_increment st ~belt:0 in
+        State.grant_frame st fresh ~during_gc:false;
+        go attempts
+      | State.Alloc_split_nursery ->
+        (* Time-to-die: seal the current nursery increment and direct
+           the youngest allocation into a fresh one that the next
+           nursery collection will spare. *)
+        Increment.seal nur;
+        let fresh = State.new_increment st ~belt:0 in
+        State.grant_frame st fresh ~during_gc:false;
+        go attempts
+      | State.Alloc_grant ->
+        State.grant_frame st nur ~during_gc:false;
+        go attempts
   in
   go 0

@@ -1,34 +1,39 @@
-(** The collection schedule: when to collect, and what.
+(** The collection schedule: the mechanical interpreter of the
+    installed {!State.policy}.
 
-    The schedule turns the configuration's policy knobs into concrete
-    plans:
+    The schedule owns what is invariant across collectors, and asks
+    the policy for everything else:
 
-    - {e plan shape}: a plan is always the downward closure, in collect
-      stamp order, of a chosen target increment — every live increment
-      stamped no later than the target is collected with it. This is
-      what makes independent increment collection sound: pointers into
-      the plan from outside it are exactly the remembered ones.
-    - {e target choice}: [Lowest_belt] configurations pick the front
-      increment of the lowest belt whose front is worth collecting
-      (generational / Beltway behaviour: prefer young, FIFO within a
-      belt); [Global_fifo] configurations pick the globally oldest
-      increment (semi-space, older-first).
-    - {e feasibility}: if the chosen plan's evacuation cannot fit in the
-      free frames, the schedule degrades to a lower-belt target; the
-      dynamic copy reserve guarantees at least the nursery plan fits.
-    - {e BOF flip}: when the allocation belt empties, the belts swap
-      roles and the epoch advances before allocation resumes.
+    - {e plan shape} (schedule): a plan is always the downward closure,
+      in collect stamp order, of a chosen target increment — every
+      live increment stamped no later than the target is collected
+      with it. This is what makes independent increment collection
+      sound: pointers into the plan from outside it are exactly the
+      remembered ones.
+    - {e target choice} (policy [target]): candidates in decreasing
+      preference order — lowest-belt for generational/Beltway
+      policies, globally oldest for older-first, anything a new
+      registry entry likes.
+    - {e feasibility} (schedule): if the chosen plan's evacuation
+      cannot fit in the free frames, the schedule degrades along the
+      policy's remaining candidates, then falls back to an emergency
+      plan.
+    - {e trigger cascade} (policy [alloc_trigger] and friends): the
+      policy returns an {!State.alloc_action} verdict; the schedule
+      executes it (collect, grant a frame, open another allocation
+      window, split the nursery).
+    - {e nursery refresh} (policy [refresh_nursery]): run before a new
+      nursery increment is opened — BOF belt flipping lives there.
 
     [prepare_alloc] is the mutator-facing entry point: after it
     returns, the nursery increment can satisfy the requested bump
-    allocation. It runs the trigger cascade (nursery bound, remset
-    threshold, time-to-die split, heap-full) and raises
-    [State.Out_of_memory] when a full cascade cannot make room — the
-    analogue of a benchmark failing at a heap size in the paper. *)
+    allocation. It raises [State.Out_of_memory] when a full cascade
+    cannot make room — the analogue of a benchmark failing at a heap
+    size in the paper. *)
 
 val nursery : State.t -> Increment.t
-(** The open nursery increment, creating one (flipping belts first if
-    the configuration flips and the allocation belt is empty). *)
+(** The open nursery increment, creating one (running the policy's
+    nursery refresh first when there is no open increment). *)
 
 val choose_plan : State.t -> reason:Gc_stats.reason -> Collector.plan option
 (** Select a feasible plan per policy; [None] when nothing is

@@ -31,6 +31,31 @@ let noop_hooks =
     on_barrier_slow = (fun ~entries:_ -> ());
   }
 
+(* The pluggable collector-policy layer. The record type lives here,
+   not in [Policy], because its closures consume the very state that
+   stores them (the same mutual-recursion-by-placement as [hooks]);
+   [Policy] constructs these records and owns the registry. Hot-path
+   decisions (barrier discipline, promotion) are plain data read per
+   operation; closures are consulted only per collection and per
+   allocation slow path. *)
+
+type barrier_discipline =
+  | Barrier_remsets of { nursery_filter : bool }
+      (** remembered sets of slot addresses; [nursery_filter] skips
+          even the stamp compare for stores whose source lies in the
+          single open nursery increment *)
+  | Barrier_cards  (** unconditional frame-granularity card marking *)
+
+type alloc_action =
+  | Alloc_grant  (** grant the allocation increment one more frame *)
+  | Alloc_collect of Gc_stats.reason  (** collect now, for this reason *)
+  | Alloc_open_nursery
+      (** open a further increment on the allocation belt (older-first:
+          the nursery bound opens a new window rather than collecting) *)
+  | Alloc_split_nursery
+      (** time-to-die: seal the nursery and open a fresh increment the
+          next nursery collection will spare *)
+
 type t = {
   mem : Memory.t;
   boot : Boot_space.t;
@@ -38,6 +63,7 @@ type t = {
   roots : Roots.t;
   ftab : Frame_table.t;
   config : Config.t;
+  policy : policy;
   heap_frames : int;
   belts : Belt.t array;
   belt_bounds : int option array;
@@ -60,7 +86,33 @@ type t = {
   mutable hooks : hooks list;
 }
 
-let create ~config ~heap_frames ~frame_log_words =
+and policy = {
+  policy_name : string;  (** registry key, for reporting *)
+  barrier : barrier_discipline;
+  promote : int array;
+      (** destination belt for survivors of each configured belt
+          (indexed by source belt; pinned LOS increments never move) *)
+  stamp_priority : t -> belt:int -> int;
+      (** priority class of the next increment opened on [belt]
+          (belt-major, epoch-based, ...) *)
+  target : t -> Increment.t list;
+      (** candidate target increments in decreasing preference order;
+          the schedule takes the downward closure of the first feasible
+          one *)
+  reserve_frames : t -> int;
+      (** conservative copy reserve in frames *)
+  alloc_trigger : t -> size:int -> alloc_action;
+      (** trigger cascade for a nursery allocation that does not fit *)
+  pretenure_trigger : t -> alloc_action;
+      (** trigger cascade for a pretenured (higher-belt) allocation *)
+  large_trigger : t -> incoming_frames:int -> alloc_action;
+      (** trigger cascade before admitting a pinned large object *)
+  refresh_nursery : t -> unit;
+      (** hook run when no open nursery increment exists, before a new
+          one is created (BOF: flip the belts) *)
+}
+
+let create ~config ~policy ~heap_frames ~frame_log_words =
   let config =
     match Config.validate config with
     | Ok c -> c
@@ -89,6 +141,9 @@ let create ~config ~heap_frames ~frame_log_words =
           Config.resolve_bound config ~heap_frames config.Config.belts.(i).Config.bound
         else None)
   in
+  let stats = Gc_stats.create () in
+  stats.Gc_stats.config_label <- config.Config.label;
+  stats.Gc_stats.policy_name <- policy.policy_name;
   {
     mem;
     boot;
@@ -96,12 +151,13 @@ let create ~config ~heap_frames ~frame_log_words =
     roots = Roots.create ();
     ftab;
     config;
+    policy;
     heap_frames;
     belts;
     belt_bounds;
     remsets = Remset.create ();
     cards = Card_table.create ();
-    stats = Gc_stats.create ();
+    stats;
     incs_by_id = Hashtbl.create 64;
     inc_by_id = Array.make 64 None;
     gc_slots = Beltway_util.Vec.create ~dummy:0 ();
@@ -130,14 +186,19 @@ let live_words t =
   Array.fold_left (fun acc b -> acc + Belt.words_used b) 0 t.belts
 
 let stamp_for_belt t belt =
-  let priority =
-    match t.config.Config.stamp_mode with
-    | Config.Belt_major -> belt
-    | Config.Epoch -> t.epoch + belt
-  in
+  let priority = t.policy.stamp_priority t ~belt in
   let s = (priority * Frame_table.priority_unit) + t.seq in
   t.seq <- t.seq + 1;
   s
+
+(* Destination belt for survivors of an increment on [belt]: one array
+   read off the installed policy (precomputed, so the Cheney inner loop
+   never dispatches a closure). Pinned LOS increments are never
+   evacuated, so only configured belts can appear; the LOS belt index
+   clamps onto the top configured belt harmlessly. *)
+let dest_belt t belt =
+  let p = t.policy.promote in
+  p.(min belt (Array.length p - 1))
 
 (* The id -> increment array mirrors [incs_by_id] so the collector's
    forward path resolves an id with an array read, not a hash probe. *)

@@ -3,9 +3,11 @@
 
     Layering: [State] owns the belts, frame budget and stamp counters
     and offers mechanical operations (create an increment, grant it a
-    frame, free it); [Write_barrier], [Copy_reserve], [Collector] and
-    [Trigger]/[Schedule] implement policy over it; [Gc] is the public
-    facade. *)
+    frame, free it) plus the installed {!policy} record;
+    [Write_barrier], [Copy_reserve], [Collector] and
+    [Trigger]/[Schedule] are mechanism that dispatches through that
+    policy; [Policy] builds policies from configurations; [Gc] is the
+    public facade. *)
 
 exception Out_of_memory of string
 (** The program does not fit this heap size under this configuration —
@@ -57,6 +59,37 @@ type hooks = {
 val noop_hooks : hooks
 (** All-no-op record, for [{ noop_hooks with ... }] updates. *)
 
+(** {2 The policy layer}
+
+    A {!policy} record owns the four decisions the paper's knobs
+    parameterise: target choice, barrier discipline, the trigger
+    cascade, and the copy-reserve rule. The type lives here (not in
+    [Policy]) because its closures consume the state that stores them —
+    the same mutual-recursion-by-placement as {!hooks}; [Policy]
+    constructs the records and owns the registry. Hot-path decisions
+    ({!barrier_discipline}, the promotion map) are plain data read per
+    operation; closures run only per collection and per allocation
+    slow path, so the barrier fast path and Cheney inner loop never
+    dispatch through a closure. *)
+
+type barrier_discipline =
+  | Barrier_remsets of { nursery_filter : bool }
+      (** remembered sets of slot addresses; [nursery_filter] skips
+          even the stamp compare for stores whose source lies in the
+          single open nursery increment (sound only under belt-major
+          stamping with a one-increment nursery) *)
+  | Barrier_cards  (** unconditional frame-granularity card marking *)
+
+type alloc_action =
+  | Alloc_grant  (** grant the allocation increment one more frame *)
+  | Alloc_collect of Gc_stats.reason  (** collect now, for this reason *)
+  | Alloc_open_nursery
+      (** open a further increment on the allocation belt (older-first:
+          a full nursery opens a new window rather than collecting) *)
+  | Alloc_split_nursery
+      (** time-to-die: seal the nursery and open a fresh increment the
+          next nursery collection will spare *)
+
 type t = {
   mem : Memory.t;
   boot : Boot_space.t;
@@ -64,6 +97,7 @@ type t = {
   roots : Roots.t;
   ftab : Frame_table.t; (** flat per-frame stamps + packed GC metadata *)
   config : Config.t;
+  policy : policy; (** the installed collector policy *)
   heap_frames : int; (** collector-owned frame budget *)
   belts : Belt.t array;
   belt_bounds : int option array; (** resolved increment bounds per belt *)
@@ -94,6 +128,31 @@ type t = {
           it is *)
 }
 
+and policy = {
+  policy_name : string;  (** registry key, for reporting *)
+  barrier : barrier_discipline;
+  promote : int array;
+      (** destination belt for survivors of each configured belt
+          (indexed by source belt; pinned LOS increments never move) *)
+  stamp_priority : t -> belt:int -> int;
+      (** priority class of the next increment opened on [belt]
+          (belt-major, epoch-based, ...) *)
+  target : t -> Increment.t list;
+      (** candidate target increments in decreasing preference order;
+          the schedule takes the downward closure of the first feasible
+          one and degrades along the rest *)
+  reserve_frames : t -> int;  (** conservative copy reserve in frames *)
+  alloc_trigger : t -> size:int -> alloc_action;
+      (** trigger cascade for a nursery allocation that does not fit *)
+  pretenure_trigger : t -> alloc_action;
+      (** trigger cascade for a pretenured (higher-belt) allocation *)
+  large_trigger : t -> incoming_frames:int -> alloc_action;
+      (** trigger cascade before admitting a pinned large object *)
+  refresh_nursery : t -> unit;
+      (** run when no open nursery increment exists, before a new one
+          is created (BOF: flip the belts) *)
+}
+
 val add_hooks : t -> hooks -> unit
 (** Install an observation hook set (appended; hooks fire in
     installation order). *)
@@ -102,10 +161,13 @@ val remove_hooks : t -> hooks -> unit
 (** Uninstall a hook set previously passed to {!add_hooks} (matched by
     physical identity). *)
 
-val create : config:Config.t -> heap_frames:int -> frame_log_words:int -> t
-(** Fresh state with an empty heap. [heap_frames] is the collector's
-    budget; the underlying memory is sized with headroom for the boot
-    space. @raise Invalid_argument on a configuration that fails
+val create :
+  config:Config.t -> policy:policy -> heap_frames:int -> frame_log_words:int -> t
+(** Fresh state with an empty heap under the given policy (resolve one
+    from the configuration with [Policy.resolve]; [Gc.create] does).
+    [heap_frames] is the collector's budget; the underlying memory is
+    sized with headroom for the boot space.
+    @raise Invalid_argument on a configuration that fails
     [Config.validate]. *)
 
 val heap_words : t -> int
@@ -117,7 +179,12 @@ val live_words : t -> int
 
 val stamp_for_belt : t -> int -> int
 (** Next collect stamp for an increment created on the given belt
-    (consumes a sequence number). *)
+    (consumes a sequence number; the priority class comes from the
+    policy's [stamp_priority]). *)
+
+val dest_belt : t -> int -> int
+(** Destination belt for survivors of an increment on the given belt:
+    one read of the policy's precomputed promotion map. *)
 
 val new_increment : t -> belt:int -> Increment.t
 (** Create an empty increment at the back of the belt. *)

@@ -11,7 +11,14 @@
     - {e time-to-die trigger}: within TTD bytes of heap-full, redirect
       allocation into a second nursery increment so the most recently
       allocated objects are not collected before they have had [TTD]
-      bytes of allocation to die. *)
+      bytes of allocation to die.
+
+    These are the {e mechanisms}; the {e order} in which they are
+    consulted, and what each verdict means, is the installed policy's
+    trigger cascade ([State.policy.alloc_trigger] and friends, built
+    by [Policy] from these predicates). The schedule never calls the
+    predicates directly any more — it interprets the policy's
+    {!State.alloc_action}. *)
 
 type reason = Gc_stats.reason =
   | Heap_full

@@ -101,11 +101,12 @@ let check_objects_and_remsets gc =
                            let s = State.frame_of_addr st slot in
                            let t = State.frame_of_addr st tgt in
                            let covered =
-                             match st.State.config.Config.barrier with
-                             | Config.Remsets ->
+                             match st.State.policy.State.barrier with
+                             | State.Barrier_remsets _ ->
                                Remset.mem_slot st.State.remsets ~src_frame:s
                                  ~tgt_frame:t ~slot
-                             | Config.Cards -> Card_table.is_dirty st.State.cards ~frame:s
+                             | State.Barrier_cards ->
+                               Card_table.is_dirty st.State.cards ~frame:s
                            in
                            if
                              (not (Boot_space.contains st.State.boot tgt))

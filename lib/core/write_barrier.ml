@@ -4,7 +4,8 @@ let would_remember st ~src_frame ~tgt_frame =
      < Frame_table.stamp st.State.ftab src_frame
 
 (* Is the frame part of the open nursery increment? Used only when the
-   configuration enables the filter (single-increment nursery). *)
+   policy's barrier discipline enables the filter (single-increment
+   nursery). *)
 let in_nursery st frame =
   match Belt.back st.State.belts.(0) with
   | None -> false
@@ -16,14 +17,16 @@ let record st ~slot ~target =
   let frame_log = Memory.frame_log st.State.mem in
   let s = slot lsr frame_log in
   let t = target lsr frame_log in
-  match st.State.config.Config.barrier with
-  | Config.Cards ->
+  (* The barrier discipline is policy *data*, matched per store — never
+     a closure dispatch on this, the hottest path in the system. *)
+  match st.State.policy.State.barrier with
+  | State.Barrier_cards ->
     (* Unconditional card marking: no stamp comparison at all; the
        collector pays by scanning dirty frames. *)
     Card_table.mark st.State.cards ~frame:s;
     stats.Gc_stats.barrier_fast <- stats.Gc_stats.barrier_fast + 1
-  | Config.Remsets ->
-    if st.State.config.Config.nursery_filter && in_nursery st s then
+  | State.Barrier_remsets { nursery_filter } ->
+    if nursery_filter && in_nursery st s then
       stats.Gc_stats.barrier_filtered <- stats.Gc_stats.barrier_filtered + 1
     else begin
       (* The unidirectional condition over the flat stamp table: two

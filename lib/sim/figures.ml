@@ -639,6 +639,19 @@ let sensitivity ~full =
     models;
   print_table t
 
+let policy_zoo ~full =
+  (* Every registered collector policy under its exemplar
+     configuration — the registry's own comparison figure. Driven off
+     [Policy.registry], so a new entry appears here with no edit. *)
+  geomean_figure
+    ~title:"Policy registry: every registered policy, exemplar config (geomean, 6 benchmarks)"
+    ~configs:
+      (List.map
+         (fun (name, _) -> cfg (Beltway.Policy.exemplar name))
+         Beltway.Policy.registry)
+    ~full
+    ~metrics:[ ("GC time", gc_time); ("total time", total_time) ]
+
 let all_ids =
   [
     "table1"; "fig1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
@@ -660,6 +673,9 @@ let run ~id ~full =
   | "xy" -> xy_explore ~full
   | "interp" -> interp ~full
   | "sensitivity" -> sensitivity ~full
+  (* not listed in all_ids (keeps the paper-ordered registry stable);
+     reachable by explicit id *)
+  | "policies" -> policy_zoo ~full
   | _ ->
     invalid_arg
       (Printf.sprintf "Figures.run: unknown id %S (expected one of: %s)" id

@@ -72,11 +72,16 @@ val sensitivity : full:bool -> unit
     perturbed cost constants (same runs, same event counts) to check
     the conclusions are not an artifact of the default model. *)
 
+val policy_zoo : full:bool -> unit
+(** Every registered collector policy under its exemplar
+    configuration (geometric means). Driven off [Policy.registry]. *)
+
 val all_ids : string list
 (** In paper order: table1, fig1, fig5..fig11, plus [ablate], [xy],
     [interp] and [sensitivity]. *)
 
 val run : id:string -> full:bool -> unit
-(** Dispatch by id. @raise Invalid_argument on an unknown id. *)
+(** Dispatch by id; also accepts the unlisted [policies] id
+    ({!policy_zoo}). @raise Invalid_argument on an unknown id. *)
 
 val run_all : full:bool -> unit

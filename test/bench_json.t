@@ -17,3 +17,11 @@ A malformed file is rejected with a non-zero exit.
   $ beltway-bench --validate incomplete.json
   incomplete.json: entry missing numeric field "seconds"
   [1]
+
+Since beltway-bench/2, every micro entry is keyed by the collector
+policy it ran under; a results file without the field is rejected.
+
+  $ echo '{"schema": "beltway-bench/2", "micro": [{"name": "x", "ns_per_run": 1}], "phases": []}' > nopolicy.json
+  $ beltway-bench --validate nopolicy.json
+  nopolicy.json: entry missing string field "policy"
+  [1]

@@ -32,6 +32,23 @@ Bad collector specifications are rejected:
   error: unrecognised collector "bogus" (try: ss, appel, appel3, fixed:N, ofm:N, of:N, X.Y, X.Y.100)
   [2]
 
+The collector-policy registry, and selection by name:
+
+  $ beltway-run --policy list | cut -c1-40
+  beltway      belt-major generational sch
+               exemplar: 25.25.100
+  older-first  global-FIFO scheduling unde
+               exemplar: of:25
+  sweep        beltway scheduling whose ev
+               exemplar: 25.25+policy:swee
+
+  $ beltway-run -g 25.25 --policy sweep -b jess -H 1024 -q --verify
+  heap integrity: OK
+
+  $ beltway-run --policy nonesuch -b jess
+  error: unknown policy "nonesuch" (registered: beltway, older-first, sweep)
+  [2]
+
 Synthetic benchmarks with heap-integrity verification:
 
   $ beltway-run -g 25.25.100 -b raytrace -H 1024 -q --verify

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("heap", Test_heap.suite);
       ("config", Test_config.suite);
+      ("policy", Test_policy.suite);
       ("core", Test_core.suite);
       ("frame table", Test_frame_table.suite);
       ("schedule", Test_schedule.suite);

@@ -162,9 +162,70 @@ let accepted_configs_run_prop =
            Result.is_ok (Beltway.Verify.check gc)
          with Beltway.Gc.Out_of_memory _ -> true))
 
+(* parse → print → parse must be the identity on accepted strings, and
+   must keep selecting the same collector policy. *)
+let policy_of c =
+  match Beltway.Policy.resolve c with
+  | Ok p -> Ok (Beltway.Policy.name p)
+  | Error e -> Error e
+
+let roundtrips s =
+  match Config.parse s with
+  | Error _ -> true
+  | Ok c -> (
+    let printed = Config.to_string c in
+    match Config.parse printed with
+    | Error e -> Alcotest.failf "reparse of %S (from %S) failed: %s" printed s e
+    | Ok c2 ->
+      if c <> c2 then
+        Alcotest.failf "%S: parse(print(parse)) differs structurally" s;
+      if Config.to_string c2 <> printed then
+        Alcotest.failf "%S: print is not stable under reparse" s;
+      (match (policy_of c, policy_of c2) with
+      | Ok a, Ok b when a = b -> ()
+      | Error _, Error _ -> ()
+      | _ -> Alcotest.failf "%S: reparse selects a different policy" s);
+      true)
+
+(* Every registered configuration string must round-trip and resolve. *)
+let test_registered_roundtrip () =
+  List.iter
+    (fun s ->
+      let c = parse_ok s in
+      checkb (s ^ " round-trips") true (roundtrips s);
+      checkb (s ^ " resolves a policy") true (Result.is_ok (policy_of c)))
+    [
+      "ss"; "bss"; "appel"; "ba2"; "appel3"; "fixed:25"; "ofm:25"; "of:25";
+      "25.25"; "100.100"; "25.25.100"; "100.100.100";
+      (* explicit registry selections, the exemplars included *)
+      "25.25+policy:beltway"; "25.25+policy:sweep:4"; "25.25+policy:sweep";
+      "25.25+nofilter+policy:older-first"; "25.25+policy:sweep:6"; "of:25+policy:older-first";
+    ]
+
+let config_roundtrip_prop =
+  let gen =
+    QCheck.Gen.(
+      let* x = int_range 1 100 in
+      let* y = int_range 1 100 in
+      let* suffix =
+        oneofl
+          [ ""; "+nofilter"; "+cards"; "+halfreserve"; "+remtrig:500";
+            "+policy:beltway"; "+policy:sweep:3"; "+policy:sweep";
+            "+nofilter+policy:older-first" ]
+      in
+      let* shape = oneofl [ `XY; `XY100 ] in
+      match shape with
+      | `XY -> return (Printf.sprintf "%d.%d%s" x y suffix)
+      | `XY100 -> return (Printf.sprintf "%d.%d.100%s" x y suffix))
+  in
+  QCheck.Test.make ~name:"parse/print/parse is the identity and policy-stable"
+    ~count:50 (QCheck.make gen) roundtrips
+
 let suite =
   suite
   @ [
+      ("registered configs round-trip", `Quick, test_registered_roundtrip);
       QCheck_alcotest.to_alcotest config_fuzz_prop;
       QCheck_alcotest.to_alcotest accepted_configs_run_prop;
+      QCheck_alcotest.to_alcotest config_roundtrip_prop;
     ]

@@ -5,7 +5,7 @@
 module Increment = Beltway.Increment
 module Belt = Beltway.Belt
 module Remset = Beltway.Remset
-module Frame_info = Beltway.Frame_info
+module Frame_info = Beltway_check.Frame_info
 module State = Beltway.State
 module Config = Beltway.Config
 module Gc = Beltway.Gc

@@ -4,7 +4,7 @@
    workloads every frame's word must describe its owning increment. *)
 
 module Frame_table = Beltway.Frame_table
-module Frame_info = Beltway.Frame_info
+module Frame_info = Beltway_check.Frame_info
 module Gc = Beltway.Gc
 module Config = Beltway.Config
 module State = Beltway.State

@@ -1,0 +1,186 @@
+(* The policy registry's conformance gate (dune alias @policy).
+
+   Every registered policy — looked up purely by its registry name,
+   with no reference to any concrete policy module — must drive a real
+   heap soundly: a mirrored random workload under the level-2
+   (paranoid) sanitizer, then a full collection leaving zero retained
+   garbage and a clean integrity check. A new registry entry is picked
+   up here automatically. *)
+
+module Gc = Beltway.Gc
+module Config = Beltway.Config
+module Policy = Beltway.Policy
+module Sanitizer = Beltway_check.Sanitizer
+module Trace = Beltway_workload.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let parse_ok s =
+  match Config.parse s with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+(* One registered policy, by name only: exemplar config string →
+   parse → resolve → mirrored workload under the paranoid sanitizer →
+   full collect → oracle + integrity. *)
+let conformance name () =
+  let cs = Policy.exemplar name in
+  let config = parse_ok cs in
+  (match Policy.resolve config with
+  | Ok p -> checks (cs ^ " resolves to its own registry entry") name (Policy.name p)
+  | Error e -> Alcotest.failf "Policy.resolve %S: %s" cs e);
+  let gc = Gc.create ~frame_log_words:8 ~config ~heap_bytes:(768 * 1024) () in
+  checks "Gc.policy_name agrees" name (Gc.policy_name gc);
+  let san = Sanitizer.attach ~level:Sanitizer.Paranoid gc in
+  List.iter
+    (fun seed ->
+      let tr = Trace.random ~seed ~nroots:8 ~len:2000 in
+      match Trace.compare_with_mirror gc tr with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "policy %s: mirror divergence: %s" name e)
+    [ 1; 2; 3 ];
+  Gc.full_collect gc;
+  (match Beltway.Verify.check gc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "policy %s: integrity: %s" name e);
+  checki
+    (Printf.sprintf "policy %s: full collection reclaims all garbage" name)
+    0
+    (Beltway.Oracle.retained_garbage_words gc);
+  checkb
+    (Printf.sprintf "policy %s: sanitizer clean after %d collections" name
+       (Sanitizer.collections_checked san))
+    true (Sanitizer.ok san)
+
+(* Every pre-existing config string must resolve, through the registry
+   alone, to the policy its order defaulted to before policies existed. *)
+let test_default_resolution () =
+  List.iter
+    (fun (cs, expect) ->
+      let p =
+        match Policy.resolve (parse_ok cs) with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "resolve %S: %s" cs e
+      in
+      checks (cs ^ " default policy") expect (Policy.name p))
+    [
+      ("ss", "older-first"); ("bss", "older-first"); ("ofm:25", "older-first");
+      ("of:25", "older-first"); ("appel", "beltway"); ("ba2", "beltway");
+      ("appel3", "beltway"); ("fixed:25", "beltway"); ("25.25", "beltway");
+      ("100.100", "beltway"); ("25.25.100", "beltway"); ("100.100.100", "beltway");
+    ]
+
+let test_resolution_errors () =
+  let err cs =
+    match Policy.resolve (parse_ok cs) with
+    | Ok _ -> Alcotest.failf "resolve %S unexpectedly succeeded" cs
+    | Error e -> e
+  in
+  checkb "unknown policy is rejected" true
+    (String.length (err "25.25+policy:nonesuch") > 0);
+  checkb "sweep rejects a non-numeric period" true
+    (String.length (err "25.25+policy:sweep:often") > 0);
+  checkb "sweep rejects period < 2" true
+    (String.length (err "25.25+policy:sweep:1") > 0);
+  checkb "beltway takes no argument" true
+    (String.length (err "25.25+policy:beltway:3") > 0);
+  (* The nursery-source filter assumes belt-major stamps; the explicit
+     +policy override must not smuggle it under FIFO order. *)
+  checkb "older-first rejects the nursery filter" true
+    (String.length (err "25.25+policy:older-first") > 0);
+  checkb "older-first accepts +nofilter" true
+    (match Policy.resolve (parse_ok "25.25+nofilter+policy:older-first") with
+    | Ok p -> Policy.name p = "older-first"
+    | Error _ -> false);
+  (* Gc.create surfaces resolution failures as Invalid_argument. *)
+  checkb "Gc.create raises on an unknown policy" true
+    (try
+       ignore
+         (Gc.create ~config:(parse_ok "25.25+policy:nonesuch")
+            ~heap_bytes:(64 * 1024) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* The collector the old knobs could not express: under plain 25.25, a
+   large cycle spanning two top-belt increments migrates forever while
+   the mutator runs (the S4.2.4 javac pathology — each collection
+   copies the remembered half forward, out of the next plan's
+   closure); under +policy:sweep the periodic full-heap target
+   collects both halves together and reclaims it, without needing a
+   third belt. *)
+let test_sweep_completeness () =
+  let cycle_half_words = 10 * 102 in
+  let full_heap_gcs gc =
+    Beltway_util.Vec.fold
+      (fun n (c : Beltway.Gc_stats.collection) ->
+        if c.Beltway.Gc_stats.full_heap then n + 1 else n)
+      0 (Gc.stats gc).Beltway.Gc_stats.collections
+  in
+  let run cs =
+    let config = parse_ok cs in
+    let gc = Gc.create ~frame_log_words:8 ~config ~heap_bytes:(256 * 1024) () in
+    let ty = Gc.register_type gc ~name:"node" in
+    let roots = Gc.roots gc in
+    let g = Roots.new_global roots Value.null in
+    (* A 10-node chain rooted in [slot], linked through field 0. *)
+    let build_chain slot =
+      Roots.set_global roots slot (Value.of_addr (Gc.alloc gc ~ty ~nfields:100));
+      let tail = ref (Roots.get_global roots slot) in
+      for _ = 2 to 10 do
+        let n = Gc.alloc gc ~ty ~nfields:100 in
+        Gc.write gc (Value.to_addr !tail) 0 (Value.of_addr n);
+        tail := Gc.read gc (Value.to_addr !tail) 0
+      done
+    in
+    (* Re-walk from the root: collections move objects. *)
+    let tail_of slot =
+      let rec go v =
+        let n = Gc.read gc (Value.to_addr v) 0 in
+        if Value.is_ref n then go n else v
+      in
+      go (Roots.get_global roots slot)
+    in
+    (* Chain a, promoted off the nursery; then the younger chain b in a
+       later increment; tie tails to heads through field 1 and drop
+       both roots — one big cross-increment cyclic garbage structure. *)
+    let a = Roots.new_global roots Value.null in
+    build_chain a;
+    for _ = 1 to 4 do
+      Gc.collect gc
+    done;
+    let b = Roots.new_global roots Value.null in
+    build_chain b;
+    Gc.collect gc;
+    Gc.write gc (Value.to_addr (tail_of a)) 1 (Roots.get_global roots b);
+    Gc.write gc (Value.to_addr (tail_of b)) 1 (Roots.get_global roots a);
+    Roots.set_global roots a Value.null;
+    Roots.set_global roots b Value.null;
+    let full_before = full_heap_gcs gc in
+    (* Steady-state mutation: enough ordinary nursery collections for
+       many sweep periods to elapse. *)
+    for _ = 1 to 40000 do
+      Roots.set_global roots g (Value.of_addr (Gc.alloc gc ~ty ~nfields:8))
+    done;
+    (full_heap_gcs gc - full_before, Beltway.Oracle.retained_garbage_words gc)
+  in
+  let plain_full, plain_retained = run "25.25" in
+  let sweep_full, sweep_retained = run "25.25+policy:sweep:4" in
+  checki "25.25 schedules no steady-state full-heap collection" 0 plain_full;
+  checkb "sweep schedules steady-state full-heap collections" true (sweep_full > 0);
+  checkb
+    (Printf.sprintf "sweep reclaims the stranded cycle (%d vs %d words retained)"
+       sweep_retained plain_retained)
+    true
+    (plain_retained > sweep_retained + cycle_half_words)
+
+let suite =
+  List.map
+    (fun (name, _) -> ("policy conformance: " ^ name, `Quick, conformance name))
+    Policy.registry
+  @ [
+      ("default resolution of the 12 configs", `Quick, test_default_resolution);
+      ("resolution errors", `Quick, test_resolution_errors);
+      ("sweep completeness by schedule", `Quick, test_sweep_completeness);
+    ]
