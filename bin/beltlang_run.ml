@@ -24,7 +24,12 @@ let lint source =
     exit (if errors > 0 then 1 else 0)
 
 let run config_str heap_kb source_file builtin list_programs show_stats
-    verify_heap sanitize lint_only trace metrics =
+    verify_heap sanitize lint_only trace metrics gc_domains =
+  (match gc_domains with
+  | Some n when n < 1 ->
+    Printf.eprintf "error: --gc-domains must be >= 1 (got %d)\n" n;
+    exit 2
+  | _ -> ());
   if list_programs then begin
     List.iter
       (fun (p : Beltlang.Programs.t) ->
@@ -60,7 +65,7 @@ let run config_str heap_kb source_file builtin list_programs show_stats
         exit 2
     in
     if lint_only then lint source;
-    let gc = Beltway.Gc.create ~config ~heap_bytes:(heap_kb * 1024) () in
+    let gc = Beltway.Gc.create ?gc_domains ~config ~heap_bytes:(heap_kb * 1024) () in
     let san = Beltway_check.Sanitizer.attach ~level:(sanitizer_level sanitize) gc in
     let trace_file =
       match trace with Some _ -> trace | None -> Beltway_obs.Recorder.env_file ()
@@ -185,6 +190,14 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let gc_domains_arg =
+  let doc =
+    "Shard each collection across $(docv) domains (work-stealing parallel \
+     Cheney drain); 1 = sequential collector. Overrides \
+     $(b,BELTWAY_GC_DOMAINS)."
+  in
+  Arg.(value & opt (some int) None & info [ "gc-domains" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "run a Beltlang program on a Beltway-collected heap" in
   Cmd.v
@@ -192,6 +205,6 @@ let cmd =
     Term.(
       const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg
       $ stats_arg $ verify_arg $ sanitize_arg $ lint_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ gc_domains_arg)
 
 let () = Cmd.eval cmd |> exit

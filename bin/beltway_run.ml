@@ -29,7 +29,12 @@ let list_policies () =
   exit 0
 
 let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
-    metrics policy =
+    metrics policy gc_domains =
+  (match gc_domains with
+  | Some n when n < 1 ->
+    Printf.eprintf "error: --gc-domains must be >= 1 (got %d)\n" n;
+    exit 2
+  | _ -> ());
   if policy = Some "list" then list_policies ();
   let config_str =
     match policy with
@@ -56,8 +61,8 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
       exit 2
     | Some bench ->
       let gc =
-        Beltway.Gc.create ~frame_log_words:Beltway_sim.Runner.frame_log_words ~config
-          ~heap_bytes:(heap_kb * 1024) ()
+        Beltway.Gc.create ~frame_log_words:Beltway_sim.Runner.frame_log_words
+          ?gc_domains ~config ~heap_bytes:(heap_kb * 1024) ()
       in
       let san = Beltway_check.Sanitizer.attach ~level:(sanitizer_level sanitize) gc in
       let trace_file =
@@ -207,12 +212,21 @@ let policy_arg =
   in
   Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
 
+let gc_domains_arg =
+  let doc =
+    "Shard each collection across $(docv) domains (work-stealing parallel \
+     Cheney drain); 1 = sequential collector. Overrides \
+     $(b,BELTWAY_GC_DOMAINS)."
+  in
+  Arg.(value & opt (some int) None & info [ "gc-domains" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "run a synthetic benchmark under a Beltway collector configuration" in
   Cmd.v
     (Cmd.info "beltway-run" ~doc)
     Term.(
       const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg
-      $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg $ policy_arg)
+      $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg $ policy_arg
+      $ gc_domains_arg)
 
 let () = exit (Cmd.eval cmd)

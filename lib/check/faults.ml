@@ -7,10 +7,11 @@ type fault =
   | Corrupted_header
   | Premature_free
   | Undersized_reserve
+  | Racy_forwarding
 
 let all =
   [ Skipped_barrier; Dropped_remset; Corrupted_header; Premature_free;
-    Undersized_reserve ]
+    Undersized_reserve; Racy_forwarding ]
 
 let name = function
   | Skipped_barrier -> "skipped-barrier"
@@ -18,6 +19,7 @@ let name = function
   | Corrupted_header -> "corrupted-header"
   | Premature_free -> "premature-free"
   | Undersized_reserve -> "undersized-reserve"
+  | Racy_forwarding -> "racy-forwarding"
 
 (* A small generational heap: 25.25.100, 1 KiB frames, 512 KiB. *)
 let setup ~level =
@@ -119,9 +121,43 @@ let undersized_reserve () =
   Sanitizer.check_now san;
   result_of san ~after:"understating the frame budget in use"
 
+(* The parallel drain's defect class: a non-atomic forwarding install.
+   Two domains race to evacuate the same object; with a plain store
+   instead of a CAS on the header word, both copies survive the race
+   and the slots forwarded through the loser's view keep the loser's
+   duplicate. Deterministic end-state emulation: carve a private
+   destination (as the losing domain's reserve chunk would be), blit a
+   duplicate of a live child there, and switch a parent slot onto the
+   duplicate behind the hooks' back — the observable damage of the
+   lost install. The shadow still holds the canonical address, so the
+   diff must flag the slot. *)
+let racy_forwarding () =
+  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let roots = Gc.roots gc in
+  let parent = Gc.alloc gc ~ty ~nfields:2 in
+  let gp = Roots.new_global roots (Value.of_addr parent) in
+  let child = Gc.alloc gc ~ty ~nfields:2 in
+  Gc.write gc (Value.to_addr (Roots.get_global roots gp)) 0 (Value.of_addr child);
+  (* Settle both into a post-collection heap, as the race would. *)
+  Gc.full_collect gc;
+  let* () = precheck san in
+  let st = Gc.state gc in
+  let mem = st.State.mem in
+  let parent = Value.to_addr (Roots.get_global roots gp) in
+  let child = Value.to_addr (Gc.read gc parent 0) in
+  let size = Object_model.size_words ~nfields:2 in
+  let inc = State.new_increment st ~belt:0 in
+  State.grant_frame st inc ~during_gc:false;
+  let dup = Beltway.Increment.bump_or_null inc ~size in
+  Memory.blit mem ~src:child ~dst:dup ~len:size;
+  Memory.set mem (Object_model.field_addr parent 0) (Value.of_addr dup);
+  Sanitizer.check_now san;
+  result_of san ~after:"a duplicate copy installed by a lost forwarding race"
+
 let inject = function
   | Skipped_barrier -> skipped_barrier ()
   | Dropped_remset -> dropped_remset ()
   | Corrupted_header -> corrupted_header ()
   | Premature_free -> premature_free ()
   | Undersized_reserve -> undersized_reserve ()
+  | Racy_forwarding -> racy_forwarding ()

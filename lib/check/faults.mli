@@ -26,6 +26,12 @@ type fault =
       (** copy-reserve/frame accounting understating the frames in
           use, the precursor to reserve exhaustion (paper §3.3.4) —
           caught by [Verify]'s accounting check at level [Paranoid] *)
+  | Racy_forwarding
+      (** the parallel drain's defect class: a forwarding install that
+          used a plain store instead of a CAS, so two domains racing
+          to evacuate one object both keep their copies and a slot
+          ends up on the losing duplicate — caught by the shadow diff
+          as a stale reference (the shadow holds the winner) *)
 
 val all : fault list
 val name : fault -> string

@@ -29,7 +29,7 @@ type dest = { inc : Increment.t; pos : Increment.pos }
    are walked with a direct [for] loop over the object's field range
    instead of a per-slot closure. Only per-collection setup (the plan
    walk, destination registration) allocates. *)
-let collect st plan =
+let collect_seq st plan =
   let mem = st.State.mem in
   let ftab = st.State.ftab in
   let frame_log = Memory.frame_log mem in
@@ -180,10 +180,7 @@ let collect st plan =
   let remsets = st.State.remsets in
   let cards = st.State.cards in
   let re_remember ~slot ~src ~tgt =
-    if src <> tgt && Frame_table.stamp ftab tgt < Frame_table.stamp ftab src then begin
-      if use_cards then Card_table.mark cards ~frame:src
-      else Remset.insert remsets ~src_frame:src ~tgt_frame:tgt ~slot
-    end
+    Write_barrier.re_remember st ~use_cards ~slot ~src_frame:src ~tgt_frame:tgt
   in
 
   (* Scan one grey object: forward its outgoing references and re-apply
@@ -362,3 +359,615 @@ let collect st plan =
         h.State.on_collect_end ~full_heap:plan.full_heap)
       hs);
   record
+
+(* ------------------------------------------------------------------ *)
+(* The parallel drain: the same collection sharded over N domains.
+
+   Protocol (see DESIGN.md "Parallel collection"):
+   - each domain greys objects onto a private stack (the hot path,
+     fence-free) and offloads surplus in batches onto its Chase–Lev
+     deque, which is what other domains steal from; it also owns a
+     private open destination increment per belt, so the copy loop's
+     bump allocation never contends on a shared cursor;
+   - forwarding pointers are installed with a CAS on the header word;
+     the loser of a race discards its speculative copy (rolling its
+     private bump back) and adopts the winner's address;
+   - shared-structure mutation (opening increments, granting frames,
+     and the hooks those fire) is serialised by [st.gc_lock];
+   - remset/card re-records and on_move hook firings are buffered per
+     domain and replayed on the submitting domain after the drain —
+     none of that machinery is thread-safe;
+   - termination: a shared in-flight counter, +1 per grey push and -1
+     per scanned object, batched through a per-domain delta that is
+     flushed at steal boundaries. A domain whose own work runs dry
+     steals from the others; after a failed round it parks on a
+     condition variable (spinning would starve the working domains on
+     an oversubscribed machine) until surplus is published, the
+     counter reaches zero, or a sibling aborts. *)
+
+module Deque = Beltway_util.Deque
+module Team = Beltway_util.Team
+
+(* The lazily created team shared by every heap in the process (one
+   collection runs at a time per heap; concurrent collections of
+   *different* heaps just share the queue). Grown when a heap asks for
+   more domains than the current team has. *)
+let gc_team : Team.t option ref = ref None
+let exit_hook_installed = ref false
+
+let team_for domains =
+  match !gc_team with
+  | Some t when Team.size t >= domains -> t
+  | prev ->
+    (match prev with Some t -> Team.shutdown t | None -> ());
+    let t = Team.create ~size:domains in
+    gc_team := Some t;
+    if not !exit_hook_installed then begin
+      exit_hook_installed := true;
+      at_exit (fun () ->
+          match !gc_team with Some t -> Team.shutdown t | None -> ())
+    end;
+    t
+
+let collect_par st plan =
+  let mem = st.State.mem in
+  let ftab = st.State.ftab in
+  let frame_log = Memory.frame_log mem in
+  let ndomains = st.State.gc_domains in
+  let team = team_for ndomains in
+  st.State.in_gc <- true;
+  (match st.State.hooks with
+  | [] -> ()
+  | hs ->
+    List.iter
+      (fun h ->
+        h.State.on_collect_start ~reason:plan.reason ~emergency:plan.emergency)
+      hs);
+  let phase p enter =
+    match st.State.hooks with
+    | [] -> ()
+    | hs -> List.iter (fun h -> h.State.on_gc_phase ~phase:p ~enter) hs
+  in
+  let record_moves = st.State.hooks <> [] in
+  let clock = st.State.clock_us in
+  let use_cards = st.State.policy.State.barrier = State.Barrier_cards in
+
+  (* Plan membership, exactly as in the sequential path. *)
+  List.iter
+    (fun (inc : Increment.t) ->
+      inc.Increment.in_plan <- true;
+      Increment.seal inc;
+      Vec.iter (fun f -> Frame_table.set_in_plan ftab ~frame:f true) inc.Increment.frames)
+    plan.increments;
+
+  (* Worker domains read the flat backing, the liveness bitmap, the
+     frame table and the id->increment mirror without synchronisation;
+     none of those arrays may be swapped for a grown copy mid-drain.
+     Pre-grow each to cover every frame the drain could possibly
+     allocate (the whole remaining budget). *)
+  let headroom = max 0 (st.State.heap_frames - st.State.frames_used) in
+  Memory.reserve_fresh mem ~frames:headroom;
+  Frame_table.ensure ftab (Memory.fresh_frames mem + headroom);
+  let max_new_incs =
+    (* Upper bound on increments opened during the drain: every belt
+       of every domain can roll over at most once per granted frame. *)
+    st.State.next_inc_id + headroom + (ndomains * Array.length st.State.belts) + 1
+  in
+  State.reserve_inc_ids st max_new_incs;
+
+  let ctxs = State.par_domains st ndomains in
+  Array.iter
+    (fun (c : State.par_domain) ->
+      Vec.clear c.State.pd_stack;
+      c.State.pd_delta <- 0;
+      Array.fill c.State.pd_dests 0 (Array.length c.State.pd_dests) None;
+      c.State.pd_opened <- [];
+      Vec.clear c.State.pd_remember;
+      Vec.clear c.State.pd_moves;
+      c.State.pd_copied_words <- 0;
+      c.State.pd_copied_objects <- 0;
+      c.State.pd_scanned_slots <- 0;
+      c.State.pd_remset_slots <- 0;
+      c.State.pd_roots_scanned <- 0;
+      c.State.pd_steals <- 0;
+      c.State.pd_cas_retries <- 0;
+      Array.fill c.State.pd_phase_start 0 3 0.;
+      Array.fill c.State.pd_phase_dur 0 3 0.)
+    ctxs;
+
+  let pending = Atomic.make 0 in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let aborted () = Atomic.get failure <> None in
+  let check_failure () =
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  in
+  let pin_lock = Mutex.create () in
+
+  (* Idle parking. A thief whose steal round finds nothing sleeps on
+     [idle_cv] instead of spinning: on an oversubscribed machine a
+     spinning thief consumes the timeslice of the one domain holding
+     work, inverting the speedup. Wakers broadcast under [idle_m], and
+     a sleeper re-checks its predicate under the same mutex before
+     waiting, so a wakeup can never be missed. *)
+  let idle_m = Mutex.create () in
+  let idle_cv = Condition.create () in
+  let sleepers = Atomic.make 0 in
+  let wake_all () =
+    Mutex.lock idle_m;
+    Condition.broadcast idle_cv;
+    Mutex.unlock idle_m
+  in
+
+  (* The in-flight counter is kept approximately: each domain batches
+     its +1-per-push / -1-per-scan into a private [pd_delta] and folds
+     it in with one fetch-and-add at steal boundaries (and every
+     [flush_bound] pushes, so idle thieves are not stranded by a stale
+     zero). Exactness only matters at quiescence: a domain reaches the
+     exit check with its own stack and deque empty and its delta
+     flushed, so when every domain has exited no unscanned object can
+     remain, and the final flush-to-zero wakes any parked sleeper. *)
+  let flush (ctx : State.par_domain) =
+    let d = ctx.State.pd_delta in
+    if d <> 0 then begin
+      ctx.State.pd_delta <- 0;
+      let now = Atomic.fetch_and_add pending d + d in
+      if now = 0 && Atomic.get sleepers > 0 then wake_all ()
+    end
+  in
+  (* Grey publication: the hot path pushes to the domain-private stack
+     (no fences); surplus is offloaded to the Chase–Lev deque in
+     batches from the drain loop. *)
+  let grey_push (ctx : State.par_domain) obj =
+    ctx.State.pd_delta <- ctx.State.pd_delta + 1;
+    Vec.push ctx.State.pd_stack obj
+  in
+
+  (* Private destination allocation: bump without synchronisation;
+     open increments and grant frames under the state lock. *)
+  let rec dest_alloc (ctx : State.par_domain) belt size =
+    match ctx.State.pd_dests.(belt) with
+    | Some d ->
+      let addr = Increment.bump_or_null d ~size in
+      if addr <> Addr.null then addr
+      else if Increment.at_bound d then begin
+        Increment.seal d;
+        ctx.State.pd_dests.(belt) <- None;
+        dest_alloc ctx belt size
+      end
+      else begin
+        Mutex.lock st.State.gc_lock;
+        (try State.grant_frame st d ~during_gc:true
+         with e ->
+           Mutex.unlock st.State.gc_lock;
+           raise e);
+        Mutex.unlock st.State.gc_lock;
+        dest_alloc ctx belt size
+      end
+    | None ->
+      Mutex.lock st.State.gc_lock;
+      let inc =
+        try State.new_increment st ~belt
+        with e ->
+          Mutex.unlock st.State.gc_lock;
+          raise e
+      in
+      Mutex.unlock st.State.gc_lock;
+      ctx.State.pd_dests.(belt) <- Some inc;
+      ctx.State.pd_opened <- inc :: ctx.State.pd_opened;
+      dest_alloc ctx belt size
+  in
+
+  (* Evacuate one object speculatively, then race to install the
+     forwarding pointer. [header] is the even header word the caller
+     loaded; a CAS that finds anything else lost to another domain,
+     whose odd header decodes to the authoritative new address. *)
+  let copy ctx (src_inc : Increment.t) addr header size =
+    let belt = State.dest_belt st src_inc.Increment.belt in
+    let new_addr = dest_alloc ctx belt size in
+    Memory.unsafe_blit mem ~src:addr ~dst:new_addr ~len:size;
+    let prev =
+      Memory.cas_word mem addr ~expect:header ~desired:((new_addr lsl 1) lor 1)
+    in
+    if prev = header then begin
+      ctx.State.pd_copied_words <- ctx.State.pd_copied_words + size;
+      ctx.State.pd_copied_objects <- ctx.State.pd_copied_objects + 1;
+      if record_moves then begin
+        Vec.push ctx.State.pd_moves addr;
+        Vec.push ctx.State.pd_moves new_addr
+      end;
+      grey_push ctx new_addr;
+      new_addr
+    end
+    else begin
+      ctx.State.pd_cas_retries <- ctx.State.pd_cas_retries + 1;
+      (match ctx.State.pd_dests.(belt) with
+      | Some d -> Increment.unbump d ~addr:new_addr ~size
+      | None -> assert false (* a successful bump leaves its increment open *));
+      prev lsr 1
+    end
+  in
+
+  let unowned addr =
+    invalid_arg (Printf.sprintf "Collector: object %#x in unowned frame" addr)
+  in
+  let forward ctx v =
+    if not (Value.is_ref v) then v
+    else begin
+      let addr = Value.to_addr v in
+      let m = Frame_table.meta ftab (addr lsr frame_log) in
+      if not (Frame_table.meta_in_plan m) then v
+      else begin
+        let s = Memory.unsafe_get mem addr in
+        if s land 1 = 1 then Value.of_addr (s lsr 1)
+        else begin
+          let id = Frame_table.meta_incr m in
+          if id < 0 then unowned addr;
+          match st.State.inc_by_id.(id) with
+          | None -> unowned addr
+          | Some inc when Frame_table.meta_pinned m ->
+            (* Pinned: marked in place; the first domain to claim the
+               mark (under [pin_lock]) pushes the base object grey. *)
+            if not inc.Increment.gc_mark then begin
+              Mutex.lock pin_lock;
+              let first = not inc.Increment.gc_mark in
+              if first then inc.Increment.gc_mark <- true;
+              Mutex.unlock pin_lock;
+              if first then
+                grey_push ctx (Increment.base_object inc mem)
+            end;
+            v
+          | Some src_inc ->
+            Value.of_addr
+              (copy ctx src_inc addr s ((s lsr 1) + Object_model.header_words))
+        end
+      end
+    end
+  in
+
+  (* The stamp compare runs on the worker with possibly stale target
+     stamps (a frame granted by another domain may still read as
+     unowned), which can only over-approximate — the replay on the
+     main domain re-evaluates the predicate over the settled table. *)
+  let buffer_remember ctx ~slot ~src ~tgt =
+    if src <> tgt && Frame_table.stamp ftab tgt < Frame_table.stamp ftab src then begin
+      Vec.push ctx.State.pd_remember slot;
+      Vec.push ctx.State.pd_remember tgt
+    end
+  in
+
+  let scan_slots (ctx : State.par_domain) ~as_remset obj =
+    let n = Memory.unsafe_get mem obj lsr 1 in
+    for slot = obj + 1 to obj + 1 + n do
+      let v = Memory.unsafe_get mem slot in
+      if Value.is_ref v then begin
+        if as_remset then
+          ctx.State.pd_remset_slots <- ctx.State.pd_remset_slots + 1
+        else ctx.State.pd_scanned_slots <- ctx.State.pd_scanned_slots + 1;
+        let v' = forward ctx v in
+        if v' <> v then Memory.unsafe_set mem slot v';
+        buffer_remember ctx ~slot ~src:(slot lsr frame_log)
+          ~tgt:(Value.to_addr v' lsr frame_log)
+      end
+    done
+  in
+
+  (* Run [f i ctxs.(i)] on the team, recording the domain's wall-clock
+     window for phase ordinal [ord] and routing any exception into
+     [failure] (a raise must never leave a sibling spinning). *)
+  let timed ord f i =
+    let ctx = ctxs.(i) in
+    let t0 = clock () in
+    ctx.State.pd_phase_start.(ord) <- t0;
+    (try f i ctx
+     with e ->
+       ignore (Atomic.compare_and_set failure None (Some e));
+       (* Sleepers re-check [aborted] on wake; set-then-broadcast. *)
+       wake_all ());
+    (* Each phase is a team barrier, so flushing here makes [pending]
+       exact at every phase boundary — the Cheney drain starts from a
+       true outstanding count. *)
+    flush ctx;
+    ctx.State.pd_phase_dur.(ord) <- clock () -. t0
+  in
+
+  (* Roots: strided shards over the combined root index space. *)
+  phase Gc_stats.Phase_roots true;
+  Team.run team ~domains:ndomains
+    (timed 0 (fun i ctx ->
+         Roots.iter_update_shard st.State.roots ~index:i ~stride:ndomains
+           (fun v ->
+             ctx.State.pd_roots_scanned <- ctx.State.pd_roots_scanned + 1;
+             forward ctx v)));
+  check_failure ();
+  phase Gc_stats.Phase_roots false;
+
+  (match st.State.policy.State.barrier with
+  | State.Barrier_remsets _ ->
+    phase Gc_stats.Phase_remset true;
+    (* Snapshot on the submitting domain (the remset tables are not
+       thread-safe), then process strided shards of the snapshot.
+       Duplicate slots may land in different shards: both domains
+       forward the same value (the CAS dedups the copy) and the
+       double insert is tolerated, as in the sequential path. *)
+    let pending_slots = st.State.gc_slots in
+    Vec.clear pending_slots;
+    Remset.iter_into st.State.remsets
+      ~in_plan:(fun f -> Frame_table.in_plan ftab f)
+      (fun ~slot -> Vec.push pending_slots slot);
+    Team.run team ~domains:ndomains
+      (timed 1 (fun i ctx ->
+           let len = Vec.length pending_slots in
+           let k = ref i in
+           while !k < len && not (aborted ()) do
+             let slot = Vec.get pending_slots !k in
+             ctx.State.pd_remset_slots <- ctx.State.pd_remset_slots + 1;
+             let v = Memory.get mem slot in
+             if Value.is_ref v then begin
+               let v' = forward ctx v in
+               if v' <> v then begin
+                 Memory.set mem slot v';
+                 buffer_remember ctx ~slot ~src:(slot lsr frame_log)
+                   ~tgt:(Value.to_addr v' lsr frame_log)
+               end
+             end;
+             k := !k + ndomains
+           done));
+    check_failure ();
+    Vec.clear pending_slots;
+    phase Gc_stats.Phase_remset false
+  | State.Barrier_cards ->
+    phase Gc_stats.Phase_cards true;
+    (* Dirty-increment gathering on the submitting domain; each dirty
+       increment is scanned wholly by one domain (strided), so no two
+       domains write the same non-plan slot. *)
+    let incs_to_scan = Hashtbl.create 16 in
+    Card_table.iter_dirty st.State.cards (fun frame ->
+        if not (Frame_table.in_plan ftab frame) then begin
+          Card_table.clear st.State.cards ~frame;
+          match State.inc_of_frame st frame with
+          | Some inc -> Hashtbl.replace incs_to_scan inc.Increment.id inc
+          | None -> ()
+        end);
+    let scan_incs = Array.of_seq (Hashtbl.to_seq_values incs_to_scan) in
+    Team.run team ~domains:ndomains
+      (timed 1 (fun i ctx ->
+           let k = ref i in
+           while !k < Array.length scan_incs && not (aborted ()) do
+             Increment.iter_objects scan_incs.(!k) mem (fun obj ->
+                 scan_slots ctx ~as_remset:true obj);
+             k := !k + ndomains
+           done));
+    check_failure ();
+    phase Gc_stats.Phase_cards false);
+
+  (* Cheney drain. Hot path: pop the private stack (no atomics),
+     offloading surplus to the domain's deque in batches so thieves
+     have something to take. Dry path: drain the own deque, then
+     steal; a failed round flushes the delta, spins briefly, and
+     parks. Any single domain can finish the whole drain through
+     stealing, so a degraded (sequential) team execution remains
+     correct. *)
+  let offload_trigger = 64 and offload_low = 16 and offload_batch = 32 in
+  let flush_bound = 64 in
+  let any_published () =
+    let any = ref false in
+    for d = 0 to ndomains - 1 do
+      if not (Deque.is_empty ctxs.(d).State.pd_grey) then any := true
+    done;
+    !any
+  in
+  let park () =
+    Mutex.lock idle_m;
+    Atomic.incr sleepers;
+    (* Predicate re-checked under [idle_m]: every waker broadcasts
+       under it, so a publish or flush-to-zero between this check and
+       the wait is impossible. *)
+    if Atomic.get pending > 0 && (not (aborted ())) && not (any_published ())
+    then Condition.wait idle_cv idle_m;
+    Atomic.decr sleepers;
+    Mutex.unlock idle_m
+  in
+  phase Gc_stats.Phase_cheney true;
+  Team.run team ~domains:ndomains
+    (timed 2 (fun i ctx ->
+         let scan obj =
+           scan_slots ctx ~as_remset:false obj;
+           ctx.State.pd_delta <- ctx.State.pd_delta - 1
+         in
+         let rec own () =
+           if
+             Vec.length ctx.State.pd_stack > offload_trigger
+             && Deque.length ctx.State.pd_grey < offload_low
+           then begin
+             for _ = 1 to offload_batch do
+               Deque.push ctx.State.pd_grey (Vec.pop ctx.State.pd_stack)
+             done;
+             if Atomic.get sleepers > 0 then wake_all ()
+           end;
+           if ctx.State.pd_delta > flush_bound then flush ctx;
+           if not (Vec.is_empty ctx.State.pd_stack) then begin
+             scan (Vec.pop ctx.State.pd_stack);
+             own ()
+           end
+           else begin
+             let obj = Deque.pop ctx.State.pd_grey in
+             if obj <> Addr.null then begin
+               scan obj;
+               own ()
+             end
+             else steal 0
+           end
+         and steal rounds =
+           flush ctx;
+           if not (aborted ()) then begin
+             let stolen = ref Addr.null in
+             let k = ref 1 in
+             while !stolen = Addr.null && !k < ndomains do
+               let v = Deque.steal ctxs.((i + !k) mod ndomains).State.pd_grey in
+               if v <> Addr.null then stolen := v;
+               incr k
+             done;
+             match !stolen with
+             | obj when obj <> Addr.null ->
+               ctx.State.pd_steals <- ctx.State.pd_steals + 1;
+               scan obj;
+               own ()
+             | _ ->
+               if Atomic.get pending = 0 then ()
+               else if rounds < 2 then begin
+                 Domain.cpu_relax ();
+                 steal (rounds + 1)
+               end
+               else begin
+                 park ();
+                 steal 0
+               end
+           end
+         in
+         own ()));
+  check_failure ();
+  phase Gc_stats.Phase_cheney false;
+
+  (* Back to one domain: replay buffered side effects, then the free
+     phase and bookkeeping exactly as in the sequential path. *)
+  let copied_words = ref 0 in
+  let copied_objects = ref 0 in
+  let scanned_slots = ref 0 in
+  let remset_slots = ref 0 in
+  let roots_scanned = ref 0 in
+  Array.iter
+    (fun (c : State.par_domain) ->
+      copied_words := !copied_words + c.State.pd_copied_words;
+      copied_objects := !copied_objects + c.State.pd_copied_objects;
+      scanned_slots := !scanned_slots + c.State.pd_scanned_slots;
+      remset_slots := !remset_slots + c.State.pd_remset_slots;
+      roots_scanned := !roots_scanned + c.State.pd_roots_scanned)
+    ctxs;
+
+  (* Moves first, so the shadow heap has re-keyed every object before
+     any later hook looks at it. *)
+  if record_moves then
+    Array.iter
+      (fun (c : State.par_domain) ->
+        let mv = c.State.pd_moves in
+        let len = Vec.length mv in
+        let k = ref 0 in
+        while !k < len do
+          let src = Vec.get mv !k and dst = Vec.get mv (!k + 1) in
+          List.iter (fun h -> h.State.on_move ~src ~dst) st.State.hooks;
+          k := !k + 2
+        done;
+        Vec.clear mv)
+      ctxs;
+
+  Array.iter
+    (fun (c : State.par_domain) ->
+      let buf = c.State.pd_remember in
+      let len = Vec.length buf in
+      let k = ref 0 in
+      while !k < len do
+        let slot = Vec.get buf !k and tgt = Vec.get buf (!k + 1) in
+        Write_barrier.re_remember st ~use_cards ~slot
+          ~src_frame:(slot lsr frame_log) ~tgt_frame:tgt;
+        k := !k + 2
+      done;
+      Vec.clear buf)
+    ctxs;
+
+  (* Destination increments that ended the drain empty — every copy
+     they received lost its forwarding race — are freed (they may hold
+     one granted frame each). *)
+  Array.iter
+    (fun (c : State.par_domain) ->
+      List.iter
+        (fun (inc : Increment.t) ->
+          if Increment.words_used inc = 0 then State.free_increment st inc)
+        c.State.pd_opened;
+      c.State.pd_opened <- [];
+      Array.fill c.State.pd_dests 0 (Array.length c.State.pd_dests) None)
+    ctxs;
+
+  phase Gc_stats.Phase_free true;
+  let pf = plan_frames plan in
+  let pw = plan_words plan in
+  let pi = List.length plan.increments in
+  let freed_frames = ref 0 in
+  List.iter
+    (fun (inc : Increment.t) ->
+      if inc.Increment.pinned && inc.Increment.gc_mark then begin
+        inc.Increment.gc_mark <- false;
+        inc.Increment.in_plan <- false;
+        Vec.iter
+          (fun f -> Frame_table.set_in_plan ftab ~frame:f false)
+          inc.Increment.frames
+      end
+      else begin
+        freed_frames := !freed_frames + Increment.occupancy_frames inc;
+        State.free_increment st inc
+      end)
+    plan.increments;
+  let freed_frames = !freed_frames in
+  phase Gc_stats.Phase_free false;
+
+  st.State.in_gc <- false;
+  if plan.full_heap then st.State.live_est_frames <- st.State.frames_used;
+  let record : Gc_stats.collection =
+    {
+      Gc_stats.n = Gc_stats.gcs st.State.stats;
+      reason = plan.reason;
+      emergency = plan.emergency;
+      clock_words = st.State.stats.Gc_stats.words_allocated;
+      plan_incs = pi;
+      plan_frames = pf;
+      plan_words = pw;
+      full_heap = plan.full_heap;
+      copied_words = !copied_words;
+      copied_objects = !copied_objects;
+      scanned_slots = !scanned_slots;
+      remset_slots = !remset_slots;
+      roots_scanned = !roots_scanned;
+      freed_frames;
+      heap_frames_after = st.State.frames_used;
+      reserve_frames = Copy_reserve.frames st;
+    }
+  in
+  Gc_stats.record_collection st.State.stats record;
+  (match st.State.hooks with
+  | [] -> ()
+  | hs ->
+    let reports =
+      Array.mapi
+        (fun i (c : State.par_domain) ->
+          {
+            State.pr_domain = i;
+            pr_phases =
+              [|
+                ( Gc_stats.Phase_roots,
+                  c.State.pd_phase_start.(0),
+                  c.State.pd_phase_dur.(0) );
+                ( (if use_cards then Gc_stats.Phase_cards
+                   else Gc_stats.Phase_remset),
+                  c.State.pd_phase_start.(1),
+                  c.State.pd_phase_dur.(1) );
+                ( Gc_stats.Phase_cheney,
+                  c.State.pd_phase_start.(2),
+                  c.State.pd_phase_dur.(2) );
+              |];
+            pr_copied_objects = c.State.pd_copied_objects;
+            pr_copied_words = c.State.pd_copied_words;
+            pr_scanned_slots = c.State.pd_scanned_slots + c.State.pd_remset_slots;
+            pr_steals = c.State.pd_steals;
+            pr_cas_retries = c.State.pd_cas_retries;
+          })
+        ctxs
+    in
+    List.iter
+      (fun h ->
+        h.State.on_gc_domains ~reports;
+        h.State.on_reserve ~frames:record.Gc_stats.reserve_frames;
+        h.State.on_collect_end ~full_heap:plan.full_heap)
+      hs);
+  record
+
+let collect st plan =
+  if st.State.gc_domains <= 1 then collect_seq st plan else collect_par st plan

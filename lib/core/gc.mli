@@ -21,13 +21,21 @@ type t
 exception Out_of_memory of string
 (** The program does not fit this heap size under this configuration. *)
 
-val create : ?frame_log_words:int -> config:Config.t -> heap_bytes:int -> unit -> t
+val create :
+  ?frame_log_words:int ->
+  ?gc_domains:int ->
+  config:Config.t ->
+  heap_bytes:int ->
+  unit ->
+  t
 (** A fresh heap. [frame_log_words] (default 10, i.e. 4 KiB frames)
     sets the frame granularity; [heap_bytes] is the collector's
     budget, rounded up to whole frames (minimum 4 frames). The
     collector policy is resolved from the configuration through
     [Policy.resolve] (its default for the configuration's order, or
-    the explicit [+policy:NAME] selection).
+    the explicit [+policy:NAME] selection). [gc_domains] sets how many
+    domains each collection is sharded over (default: the
+    [BELTWAY_GC_DOMAINS] environment variable, else 1 = sequential).
     @raise Invalid_argument on an invalid configuration or an unknown
     policy. *)
 
@@ -85,6 +93,17 @@ val live_words_upper_bound : t -> int
 
 val reserve_frames : t -> int
 (** The copy reserve currently in force (paper S3.3.4). *)
+
+val set_gc_domains : t -> int -> unit
+(** Change the collection fan-out for subsequent collections (clamped
+    to [1, Beltway_util.Team.max_size]). One domain is the sequential
+    collector, byte-identical to the pre-parallel behaviour. *)
+
+val gc_domains : t -> int
+(** The fan-out currently in force. *)
+
+val env_gc_domains : unit -> int option
+(** The [BELTWAY_GC_DOMAINS] environment default, if set and valid. *)
 
 val state : t -> State.t
 (** The underlying state — for the integrity verifier, the oracle and

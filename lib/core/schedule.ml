@@ -18,11 +18,13 @@ let closure st (target : Increment.t) =
     (State.live_increments st)
 
 (* Evacuating the plan needs at most its own occupancy plus one
-   partially filled frame per destination belt; the copy reserve's pad
-   guarantees this fits whenever the plan is no larger than the
-   reserve's potential. *)
+   partially filled frame per destination belt per GC domain (each
+   domain of the parallel drain keeps a private open destination on
+   each belt); the copy reserve's pad guarantees this fits whenever
+   the plan is no larger than the reserve's potential. *)
 let feasible st plan =
-  Collector.evacuation_frames plan + Array.length st.State.belts
+  Collector.evacuation_frames plan
+  + (Array.length st.State.belts * st.State.gc_domains)
   <= State.free_frames st
 
 let choose_plan st ~reason =

@@ -1,5 +1,20 @@
 exception Out_of_memory of string
 
+(* Per-domain summary of one parallel collection, handed to the
+   [on_gc_domains] hook for the flight recorder: phase windows in the
+   recorder's clock (start, duration in us; zero when no clock is
+   installed) plus the domain's share of the copy work and its
+   work-stealing traffic. *)
+type par_report = {
+  pr_domain : int;
+  pr_phases : (Gc_stats.gc_phase * float * float) array;
+  pr_copied_objects : int;
+  pr_copied_words : int;
+  pr_scanned_slots : int;
+  pr_steals : int;
+  pr_cas_retries : int;
+}
+
 type hooks = {
   on_alloc : addr:Addr.t -> tib:Value.t -> nfields:int -> unit;
   on_write : obj:Addr.t -> field:int -> value:Value.t -> unit;
@@ -13,6 +28,7 @@ type hooks = {
   on_reserve : frames:int -> unit;
   on_trigger : reason:Gc_stats.reason -> unit;
   on_barrier_slow : entries:int -> unit;
+  on_gc_domains : reports:par_report array -> unit;
 }
 
 let noop_hooks =
@@ -29,7 +45,33 @@ let noop_hooks =
     on_reserve = (fun ~frames:_ -> ());
     on_trigger = (fun ~reason:_ -> ());
     on_barrier_slow = (fun ~entries:_ -> ());
+    on_gc_domains = (fun ~reports:_ -> ());
   }
+
+(* Per-domain scratch for the parallel collector, reused across
+   collections: a Chase–Lev grey deque, private destination increments
+   per belt, and buffers for the side effects that must replay on the
+   main domain after the drain (remset/card re-records and on_move
+   hook firings — neither the remset tables nor the hooks are
+   thread-safe). *)
+type par_domain = {
+  pd_stack : int Beltway_util.Vec.t; (* private grey stack, no atomics *)
+  pd_grey : Beltway_util.Deque.t; (* published surplus, steal target *)
+  mutable pd_delta : int; (* unflushed in-flight delta *)
+  pd_dests : Increment.t option array; (* private open dest per belt *)
+  mutable pd_opened : Increment.t list; (* dests this domain opened this GC *)
+  pd_remember : int Beltway_util.Vec.t; (* (slot, tgt frame) pairs *)
+  pd_moves : int Beltway_util.Vec.t; (* (src, dst) pairs, when hooks installed *)
+  mutable pd_copied_words : int;
+  mutable pd_copied_objects : int;
+  mutable pd_scanned_slots : int;
+  mutable pd_remset_slots : int;
+  mutable pd_roots_scanned : int;
+  mutable pd_steals : int;
+  mutable pd_cas_retries : int;
+  pd_phase_start : float array; (* roots / remset-or-cards / cheney *)
+  pd_phase_dur : float array;
+}
 
 (* The pluggable collector-policy layer. The record type lives here,
    not in [Policy], because its closures consume the very state that
@@ -84,6 +126,16 @@ type t = {
       (* survivors of the most recent full-heap collection; 0 = none
          yet. A cheap live-set statistic for diagnostics and tests. *)
   mutable hooks : hooks list;
+  mutable gc_domains : int;
+      (* domains a collection's drain fans out over; 1 = the
+         byte-identical sequential collector *)
+  gc_lock : Mutex.t;
+      (* serialises shared-structure mutation (increment creation,
+         frame grants and their hooks) during a parallel drain *)
+  mutable gc_par : par_domain array; (* parallel-drain scratch, grown on demand *)
+  mutable clock_us : unit -> float;
+      (* timestamp source for per-domain phase spans; returns 0 until
+         a flight recorder installs its clock *)
 }
 
 and policy = {
@@ -173,7 +225,43 @@ let create ~config ~policy ~heap_frames ~frame_log_words =
     gcs_this_alloc = 0;
     live_est_frames = 0;
     hooks = [];
+    gc_domains = 1;
+    gc_lock = Mutex.create ();
+    gc_par = [||];
+    clock_us = (fun () -> 0.);
   }
+
+let set_gc_domains t n =
+  t.gc_domains <- max 1 (min n Beltway_util.Team.max_size)
+
+let make_par_domain t =
+  {
+    pd_stack = Beltway_util.Vec.create ~dummy:0 ();
+    pd_grey = Beltway_util.Deque.create ~empty:Addr.null ();
+    pd_delta = 0;
+    pd_dests = Array.make (Array.length t.belts) None;
+    pd_opened = [];
+    pd_remember = Beltway_util.Vec.create ~dummy:0 ();
+    pd_moves = Beltway_util.Vec.create ~dummy:0 ();
+    pd_copied_words = 0;
+    pd_copied_objects = 0;
+    pd_scanned_slots = 0;
+    pd_remset_slots = 0;
+    pd_roots_scanned = 0;
+    pd_steals = 0;
+    pd_cas_retries = 0;
+    pd_phase_start = Array.make 3 0.;
+    pd_phase_dur = Array.make 3 0.;
+  }
+
+(* The first [n] per-domain scratch contexts, created on first use and
+   reused across collections. *)
+let par_domains t n =
+  let cur = Array.length t.gc_par in
+  if cur < n then
+    t.gc_par <-
+      Array.init n (fun i -> if i < cur then t.gc_par.(i) else make_par_domain t);
+  Array.sub t.gc_par 0 n
 
 let add_hooks t h = t.hooks <- t.hooks @ [ h ]
 let remove_hooks t h = t.hooks <- List.filter (fun h' -> h' != h) t.hooks
@@ -211,6 +299,16 @@ let register_inc t id inc =
   end;
   t.inc_by_id.(id) <- Some inc;
   Hashtbl.replace t.incs_by_id id inc
+
+(* Pre-grow the id mirror so [register_inc] never swaps the array out
+   from under the parallel collector's lock-free forward path. *)
+let reserve_inc_ids t n =
+  let cap = Array.length t.inc_by_id in
+  if n > cap then begin
+    let arr = Array.make (max n (cap * 2)) None in
+    Array.blit t.inc_by_id 0 arr 0 cap;
+    t.inc_by_id <- arr
+  end
 
 let new_increment t ~belt =
   let id = t.next_inc_id in

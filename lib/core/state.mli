@@ -14,6 +14,22 @@ exception Out_of_memory of string
     the analogue of a benchmark "failing to run" at a heap size in the
     paper's figures. *)
 
+type par_report = {
+  pr_domain : int;
+  pr_phases : (Gc_stats.gc_phase * float * float) array;
+      (** (phase, start, duration) per parallel phase, in the flight
+          recorder's microsecond clock (zeros when none is attached) *)
+  pr_copied_objects : int;
+  pr_copied_words : int;
+  pr_scanned_slots : int;
+  pr_steals : int;  (** grey objects taken from other domains' deques *)
+  pr_cas_retries : int;
+      (** forwarding races lost: speculative copies discarded after
+          another domain installed the forwarding pointer first *)
+}
+(** Per-domain summary of one parallel collection, reported through
+    [on_gc_domains]. *)
+
 type hooks = {
   on_alloc : addr:Addr.t -> tib:Value.t -> nfields:int -> unit;
       (** after an object is initialised (header + TIB written, fields
@@ -48,6 +64,10 @@ type hooks = {
   on_barrier_slow : entries:int -> unit;
       (** after a write-barrier slow path inserted a remembered-set
           entry; [entries] is the new remset total *)
+  on_gc_domains : reports:par_report array -> unit;
+      (** after a parallel collection's drain completes (before
+          [on_collect_end]): one {!par_report} per GC domain. Never
+          fired by the sequential collector. *)
 }
 (** Observation hooks for heap-analysis tools (the shadow-heap
     sanitizer, verification-every-n testing, the [Beltway_obs] flight
@@ -58,6 +78,32 @@ type hooks = {
 
 val noop_hooks : hooks
 (** All-no-op record, for [{ noop_hooks with ... }] updates. *)
+
+type par_domain = {
+  pd_stack : int Beltway_util.Vec.t;
+      (** private grey stack: the drain's hot path, no atomics *)
+  pd_grey : Beltway_util.Deque.t;
+      (** published surplus, stolen from by other domains *)
+  mutable pd_delta : int;
+      (** unflushed in-flight delta (+1 per grey push, -1 per scan),
+          batched into the shared counter at steal boundaries *)
+  pd_dests : Increment.t option array;
+  mutable pd_opened : Increment.t list;
+  pd_remember : int Beltway_util.Vec.t;
+  pd_moves : int Beltway_util.Vec.t;
+  mutable pd_copied_words : int;
+  mutable pd_copied_objects : int;
+  mutable pd_scanned_slots : int;
+  mutable pd_remset_slots : int;
+  mutable pd_roots_scanned : int;
+  mutable pd_steals : int;
+  mutable pd_cas_retries : int;
+  pd_phase_start : float array;
+  pd_phase_dur : float array;
+}
+(** Per-domain scratch for the parallel collector (grey deque, private
+    destination increments, replay buffers, counters), reused across
+    collections. Owned by [Collector]; exposed for white-box tests. *)
 
 (** {2 The policy layer}
 
@@ -126,6 +172,18 @@ type t = {
       (** installed observation hooks; empty in the common case, and
           the dispatch sites are a single [match] away from free when
           it is *)
+  mutable gc_domains : int;
+      (** domains each collection's drain fans out over (set through
+          {!set_gc_domains}); 1 selects the sequential collector,
+          byte-identical to the pre-parallel implementation *)
+  gc_lock : Mutex.t;
+      (** serialises shared-structure mutation (increment creation,
+          frame grants, and their hooks) during a parallel drain *)
+  mutable gc_par : par_domain array;
+      (** parallel-drain scratch, grown on demand by {!par_domains} *)
+  mutable clock_us : unit -> float;
+      (** timestamp source for per-domain phase spans; returns 0 until
+          a flight recorder installs its clock *)
 }
 
 and policy = {
@@ -170,6 +228,15 @@ val create :
     @raise Invalid_argument on a configuration that fails
     [Config.validate]. *)
 
+val set_gc_domains : t -> int -> unit
+(** Set the number of domains future collections fan out over (clamped
+    to [1, Beltway_util.Team.max_size]). Takes effect at the next
+    collection. *)
+
+val par_domains : t -> int -> par_domain array
+(** The first [n] per-domain scratch contexts, created on first use
+    and reused across collections. *)
+
 val heap_words : t -> int
 val free_frames : t -> int
 val total_increments : t -> int
@@ -188,6 +255,11 @@ val dest_belt : t -> int -> int
 
 val new_increment : t -> belt:int -> Increment.t
 (** Create an empty increment at the back of the belt. *)
+
+val reserve_inc_ids : t -> int -> unit
+(** Pre-grow the id -> increment mirror to hold at least [n] ids, so
+    increments opened while worker domains read the mirror without the
+    lock never swap its backing array. *)
 
 val grant_frame : t -> Increment.t -> during_gc:bool -> unit
 (** Give the increment one more frame, charging the budget and stamping

@@ -3,6 +3,20 @@ let would_remember st ~src_frame ~tgt_frame =
   && Frame_table.stamp st.State.ftab tgt_frame
      < Frame_table.stamp st.State.ftab src_frame
 
+(* The collector's re-record path, shared by the sequential and
+   parallel drains: a surviving slot still holds an interesting
+   pointer under the destination's new stamps, so record it in
+   whichever bookkeeping the policy's barrier discipline uses. *)
+let[@inline] re_remember st ~use_cards ~slot ~src_frame ~tgt_frame =
+  if
+    src_frame <> tgt_frame
+    && Frame_table.stamp st.State.ftab tgt_frame
+       < Frame_table.stamp st.State.ftab src_frame
+  then begin
+    if use_cards then Card_table.mark st.State.cards ~frame:src_frame
+    else Remset.insert st.State.remsets ~src_frame ~tgt_frame ~slot
+  end
+
 (* Is the frame part of the open nursery increment? Used only when the
    policy's barrier discipline enables the filter (single-increment
    nursery). *)

@@ -26,3 +26,12 @@ val would_remember : State.t -> src_frame:int -> tgt_frame:int -> bool
 (** The bare predicate (exposed for tests and the collector's re-record
     path): true iff a pointer from [src_frame] to [tgt_frame] must be
     remembered. *)
+
+val re_remember :
+  State.t -> use_cards:bool -> slot:Addr.t -> src_frame:int -> tgt_frame:int -> unit
+(** The collector's re-record step for a scanned surviving slot:
+    applies {!would_remember} and, when it holds, marks the source
+    frame's card or inserts the slot into the remembered set according
+    to [use_cards] (the policy's barrier discipline, hoisted out of
+    the scan loop). Both the sequential and parallel drains funnel
+    through this. *)

@@ -32,6 +32,24 @@ let iter_update t f =
   update t.globals;
   update t.stack
 
+(* Strided shard of [iter_update] over the combined (globals ++ stack)
+   index space: shard [index] of [stride] updates every slot whose
+   combined index is congruent to [index]. Distinct shards touch
+   disjoint slots, so the parallel collector runs one shard per domain
+   with no synchronisation. *)
+let iter_update_shard t ~index ~stride f =
+  if index < 0 || stride < 1 || index >= stride then
+    invalid_arg "Roots.iter_update_shard";
+  let g = Vec.length t.globals in
+  let n = g + Vec.length t.stack in
+  let k = ref index in
+  while !k < n do
+    let i = !k in
+    if i < g then Vec.set t.globals i (f (Vec.get t.globals i))
+    else Vec.set t.stack (i - g) (f (Vec.get t.stack (i - g)));
+    k := !k + stride
+  done
+
 let iter t f =
   Vec.iter f t.globals;
   Vec.iter f t.stack

@@ -6,30 +6,20 @@
    *when* each task runs. [map] therefore returns results in input
    order and is observationally identical at any job count.
 
-   The queue is Mutex+Condition (plenty for tasks that each run for
-   milliseconds to seconds); the submitting domain participates in
-   draining, so a pool of [jobs] keeps exactly [jobs] domains busy
-   ([jobs - 1] spawned workers plus the caller). *)
+   The queue machinery lives in [Beltway_util.Team] (shared with the
+   parallel collector's intra-collection fan-out): Mutex+Condition
+   task queue, lazily spawned workers, and a submitting domain that
+   participates in draining, so a pool of [jobs] keeps exactly [jobs]
+   domains busy ([jobs - 1] spawned workers plus the caller). Nested
+   parallel maps — including a parallel *collection* triggered inside a
+   pool task — downgrade to sequential execution via the team's
+   domain-local worker flag. *)
 
-type t = {
-  jobs : int;
-  mutable workers : unit Domain.t list; (* spawned lazily on first parallel map *)
-  mutable started : bool;
-  mutable stop : bool;
-  queue : (unit -> unit) Queue.t;
-  m : Mutex.t;
-  nonempty : Condition.t;
-}
+module Team = Beltway_util.Team
 
-(* Workers must never submit nested parallel maps (the pool has no
-   dependency tracking and a nested wait could deadlock on a full
-   queue); a domain-local flag downgrades any such call to sequential
-   execution. *)
-let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+type t = Team.t
 
-(* OCaml 5 performs poorly beyond ~a hundred domains; far above any
-   sensible core count, so clamp quietly. *)
-let max_jobs = 64
+let max_jobs = Team.max_size
 
 let env_jobs () =
   match Sys.getenv_opt "BELTWAY_JOBS" with
@@ -44,53 +34,9 @@ let recommended_jobs () =
   | Some n -> min n max_jobs
   | None -> min (Domain.recommended_domain_count ()) max_jobs
 
-let create ~jobs =
-  {
-    jobs = max 1 (min jobs max_jobs);
-    workers = [];
-    started = false;
-    stop = false;
-    queue = Queue.create ();
-    m = Mutex.create ();
-    nonempty = Condition.create ();
-  }
-
-let jobs t = t.jobs
-
-let worker_loop t () =
-  Domain.DLS.set in_worker true;
-  let rec loop () =
-    Mutex.lock t.m;
-    while Queue.is_empty t.queue && not t.stop do
-      Condition.wait t.nonempty t.m
-    done;
-    if Queue.is_empty t.queue then Mutex.unlock t.m (* stopping *)
-    else begin
-      let task = Queue.pop t.queue in
-      Mutex.unlock t.m;
-      task ();
-      loop ()
-    end
-  in
-  loop ()
-
-let ensure_started t =
-  if not t.started then begin
-    t.started <- true;
-    t.workers <- List.init (t.jobs - 1) (fun _ -> Domain.spawn (worker_loop t))
-  end
-
-let shutdown t =
-  if t.started then begin
-    Mutex.lock t.m;
-    t.stop <- true;
-    Condition.broadcast t.nonempty;
-    Mutex.unlock t.m;
-    List.iter Domain.join t.workers;
-    t.workers <- [];
-    t.started <- false;
-    t.stop <- false
-  end
+let create ~jobs = Team.create ~size:jobs
+let jobs t = Team.size t
+let shutdown t = Team.shutdown t
 
 (* The shared default pool, sized by --jobs / BELTWAY_JOBS /
    recommended_domain_count, in that priority order. *)
@@ -110,57 +56,14 @@ let default () =
 let set_default_jobs n =
   let n = max 1 (min n max_jobs) in
   (match !default_pool with
-  | Some p when p.jobs <> n ->
+  | Some p when jobs p <> n ->
     shutdown p;
     default_pool := None
   | _ -> ());
   chosen_jobs := Some n
 
-let default_jobs () = (default ()).jobs
+let default_jobs () = jobs (default ())
 
 let map ?pool f xs =
   let p = match pool with Some p -> p | None -> default () in
-  let n = List.length xs in
-  if p.jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then List.map f xs
-  else begin
-    ensure_started p;
-    let results = Array.make n None in
-    let first_error = Atomic.make None in
-    let remaining = Atomic.make n in
-    let done_m = Mutex.create () in
-    let done_c = Condition.create () in
-    let task i x () =
-      (try results.(i) <- Some (f x)
-       with e -> ignore (Atomic.compare_and_set first_error None (Some e)));
-      Mutex.lock done_m;
-      if Atomic.fetch_and_add remaining (-1) = 1 then Condition.broadcast done_c;
-      Mutex.unlock done_m
-    in
-    Mutex.lock p.m;
-    List.iteri (fun i x -> Queue.push (task i x) p.queue) xs;
-    Condition.broadcast p.nonempty;
-    Mutex.unlock p.m;
-    (* The caller drains alongside the workers, then sleeps until the
-       stragglers finish. *)
-    let rec help () =
-      if Atomic.get remaining > 0 then begin
-        Mutex.lock p.m;
-        let task = if Queue.is_empty p.queue then None else Some (Queue.pop p.queue) in
-        Mutex.unlock p.m;
-        match task with
-        | Some task ->
-          task ();
-          help ()
-        | None ->
-          Mutex.lock done_m;
-          while Atomic.get remaining > 0 do
-            Condition.wait done_c done_m
-          done;
-          Mutex.unlock done_m
-      end
-    in
-    help ();
-    (match Atomic.get first_error with Some e -> raise e | None -> ());
-    Array.to_list
-      (Array.map (function Some r -> r | None -> assert false) results)
-  end
+  Team.map p f xs

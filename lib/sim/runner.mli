@@ -31,15 +31,20 @@ val frame_bytes : int
 
 val run_one :
   ?model:Cost_model.t ->
+  ?gc_domains:int ->
   bench:Beltway_workload.Spec.t ->
   config:Config.t ->
   heap_frames:int ->
   unit ->
   result
+(** [gc_domains] shards each collection of this run over that many
+    domains (default: the [BELTWAY_GC_DOMAINS] environment variable,
+    else sequential). *)
 
 val run_traced :
   ?model:Cost_model.t ->
   ?capacity:int ->
+  ?gc_domains:int ->
   bench:Beltway_workload.Spec.t ->
   config:Config.t ->
   heap_frames:int ->
@@ -79,6 +84,7 @@ val heap_ladder : min_frames:int -> mults:float list -> int list
 val sweep :
   ?model:Cost_model.t ->
   ?pool:Pool.t ->
+  ?gc_domains:int ->
   bench:Beltway_workload.Spec.t ->
   config:Config.t ->
   heaps:int list ->

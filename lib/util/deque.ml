@@ -1,0 +1,104 @@
+(* An int-specialised Chase–Lev work-stealing deque.
+
+   One owner pushes and pops at the bottom; any number of thieves CAS
+   the top. The element type is a bare [int] (the collector stores
+   object addresses) so the structure is allocation-free in steady
+   state; an [empty] sentinel chosen at creation stands in for "no
+   element" on both the empty-deque and lost-race paths, keeping the
+   hot path free of [option] cells.
+
+   The circular buffer is replaced wholesale on growth (never mutated
+   in place for a resize), and thieves re-read it through an [Atomic]
+   cell *after* loading [top] and [bottom]: a successful CAS on [top]
+   at value [t] proves the owner had not consumed logical index [t],
+   and every buffer new enough to be observed after those loads holds
+   logical index [t] intact — growth copies exactly the live range
+   [top, bottom) and pushes only ever write at indices >= bottom.
+
+   All control words are seq_cst OCaml [Atomic]s; element reads and
+   writes are plain, ordered through the [bottom] publication store
+   (write element, then store bottom) on the owner side and the
+   corresponding load on the thief side. *)
+
+type t = {
+  buf : int array Atomic.t;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  empty : int;
+}
+
+let create ?(capacity = 256) ~empty () =
+  let cap = max 2 capacity in
+  (* Round up to a power of two so index masking works. *)
+  let cap =
+    let c = ref 2 in
+    while !c < cap do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    buf = Atomic.make (Array.make cap empty);
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    empty;
+  }
+
+let empty_value t = t.empty
+
+let length t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+let is_empty t = length t = 0
+
+let grow t a ~top:tp ~bottom:b =
+  let n = Array.length a in
+  let a' = Array.make (n * 2) t.empty in
+  for i = tp to b - 1 do
+    a'.(i land ((n * 2) - 1)) <- a.(i land (n - 1))
+  done;
+  Atomic.set t.buf a';
+  a'
+
+(* Owner only. *)
+let push t v =
+  if v = t.empty then invalid_arg "Deque.push: the empty sentinel";
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let a = Atomic.get t.buf in
+  let a = if b - tp >= Array.length a then grow t a ~top:tp ~bottom:b else a in
+  a.(b land (Array.length a - 1)) <- v;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only. Returns [empty] when the deque has no element (or a
+   thief won the race to the last one). *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let a = Atomic.get t.buf in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty; undo the reservation. *)
+    Atomic.set t.bottom (b + 1);
+    t.empty
+  end
+  else begin
+    let v = a.(b land (Array.length a - 1)) in
+    if b > tp then v
+    else begin
+      (* Single element left: race the thieves for it. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (b + 1);
+      if won then v else t.empty
+    end
+  end
+
+(* Any domain. Returns [empty] on an empty deque and on CAS contention
+   (the caller's steal loop retries other victims anyway). *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b <= tp then t.empty
+  else begin
+    let a = Atomic.get t.buf in
+    let v = a.(tp land (Array.length a - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else t.empty
+  end

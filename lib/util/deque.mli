@@ -1,0 +1,35 @@
+(** An int-specialised Chase–Lev work-stealing deque.
+
+    One owning domain pushes and pops at the bottom; any number of
+    other domains steal from the top. Elements are bare [int]s and a
+    per-deque [empty] sentinel replaces [option] on every return path,
+    so the steady state allocates nothing. The parallel collector uses
+    one of these per GC domain as its grey stack. *)
+
+type t
+
+val create : ?capacity:int -> empty:int -> unit -> t
+(** A deque whose "no element" answer is [empty] (the sentinel must
+    never be pushed). [capacity] (default 256) is rounded up to a
+    power of two; the buffer grows automatically. *)
+
+val empty_value : t -> int
+(** The sentinel chosen at creation. *)
+
+val push : t -> int -> unit
+(** Owner only: push at the bottom.
+    @raise Invalid_argument on the empty sentinel. *)
+
+val pop : t -> int
+(** Owner only: pop the most recently pushed element (LIFO), or the
+    sentinel when none remains. *)
+
+val steal : t -> int
+(** Any domain: take the oldest element (FIFO), or the sentinel when
+    the deque is empty {e or} another thief won the race — callers
+    treat both as a miss and move to the next victim. *)
+
+val length : t -> int
+(** Momentary element count (racy, for diagnostics only). *)
+
+val is_empty : t -> bool

@@ -18,4 +18,5 @@ let () =
       ("beltlang", Test_beltlang.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
+      ("parallel gc", Test_parallel_gc.suite);
     ]
