@@ -23,8 +23,22 @@ let lint source =
       (Beltlang.Analysis.warnings diags);
     exit (if errors > 0 then 1 else 0)
 
+let dump_bytecode source =
+  match Beltlang.Sexp.parse_string source with
+  | exception Beltlang.Sexp.Parse_error e ->
+    Printf.eprintf "syntax error: %s\n" e;
+    exit 2
+  | forms -> (
+    match Beltlang.Compile.compile (Beltlang.Ast.compile forms) with
+    | exception Beltlang.Ast.Compile_error e ->
+      Printf.eprintf "syntax error: %s\n" e;
+      exit 2
+    | bc ->
+      Format.printf "%a@." Beltlang.Bytecode.pp bc;
+      exit 0)
+
 let run config_str heap_kb source_file builtin list_programs show_stats
-    verify_heap sanitize lint_only trace metrics gc_domains =
+    verify_heap sanitize lint_only trace metrics gc_domains vm_kind dump =
   (match gc_domains with
   | Some n when n < 1 ->
     Printf.eprintf "error: --gc-domains must be >= 1 (got %d)\n" n;
@@ -65,6 +79,7 @@ let run config_str heap_kb source_file builtin list_programs show_stats
         exit 2
     in
     if lint_only then lint source;
+    if dump then dump_bytecode source;
     let gc = Beltway.Gc.create ?gc_domains ~config ~heap_bytes:(heap_kb * 1024) () in
     let san = Beltway_check.Sanitizer.attach ~level:(sanitizer_level sanitize) gc in
     let trace_file =
@@ -75,10 +90,21 @@ let run config_str heap_kb source_file builtin list_programs show_stats
         Some (Beltway_obs.Recorder.attach gc)
       else None
     in
-    let interp = Beltlang.Interp.create gc in
+    (* Both engines share heap layout, output format, errors and GC
+       behaviour; the bytecode VM is simply faster (see DESIGN.md). *)
+    let run_engine, engine_output =
+      match vm_kind with
+      | `Bytecode ->
+        let vm = Beltlang.Vm.create gc in
+        ((fun src -> Beltlang.Vm.run_string vm src), fun () -> Beltlang.Vm.output vm)
+      | `Ast ->
+        let interp = Beltlang.Interp.create gc in
+        ( (fun src -> Beltlang.Interp.run_string interp src),
+          fun () -> Beltlang.Interp.output interp )
+    in
     let status =
       try
-        Beltlang.Interp.run_string interp source;
+        run_engine source;
         0
       with
       | Beltlang.Sexp.Parse_error e | Beltlang.Ast.Compile_error e ->
@@ -105,7 +131,7 @@ let run config_str heap_kb source_file builtin list_programs show_stats
           Beltway_obs.Chrome_trace.write_file f
             (Beltway_obs.Metrics.to_json (Beltway_obs.Recorder.metrics r)))
         metrics);
-    print_string (Beltlang.Interp.output interp);
+    print_string (engine_output ());
     if show_stats then
       (* the summary header names the configuration and its policy *)
       Format.eprintf "[gc] %a@." Beltway.Gc_stats.pp_summary (Beltway.Gc.stats gc);
@@ -190,6 +216,21 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let vm_arg =
+  let doc =
+    "Execution engine: $(b,bytecode) (flat-array compiler and tight dispatch \
+     loop, the default) or $(b,ast) (the tree-walking reference interpreter). \
+     Both produce identical output and identical GC statistics."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("bytecode", `Bytecode); ("ast", `Ast) ]) `Bytecode
+    & info [ "vm" ] ~docv:"ENGINE" ~doc)
+
+let dump_arg =
+  let doc = "Compile to bytecode, print the disassembly and exit." in
+  Arg.(value & flag & info [ "dump-bytecode" ] ~doc)
+
 let gc_domains_arg =
   let doc =
     "Shard each collection across $(docv) domains (work-stealing parallel \
@@ -205,6 +246,6 @@ let cmd =
     Term.(
       const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg
       $ stats_arg $ verify_arg $ sanitize_arg $ lint_arg $ trace_arg
-      $ metrics_arg $ gc_domains_arg)
+      $ metrics_arg $ gc_domains_arg $ vm_arg $ dump_arg)
 
 let () = Cmd.eval cmd |> exit

@@ -347,6 +347,19 @@ let analyze forms =
   predeclare ctx forms;
   List.iter (scan_assignments ctx) forms;
   List.iter (walk_top ctx) forms;
+  (* Bytecode operand limits: a scope-clean program can still overflow
+     an operand field (nesting deeper than max_c hops, more than max_b
+     bindings in a scope, an oversized constant pool). Run the real
+     compiler — the only authority on the encoding — and surface its
+     limit errors statically, instead of letting `--vm bytecode` fail
+     at run time. Only meaningful when resolution succeeded: on scope
+     errors the compiler would just re-reject what is already
+     reported above. *)
+  (if Vec.to_list ctx.diags |> List.for_all (fun d -> d.severity <> Error) then
+     try ignore (Compile.compile (Ast.compile forms)) with
+     | Ast.Compile_error msg ->
+       add ctx Error "bytecode-limit" "%s (not encodable as bytecode)" msg
+     | _ -> ());
   Vec.iter
     (fun name ->
       let g = Hashtbl.find ctx.globals name in

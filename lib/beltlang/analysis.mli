@@ -27,7 +27,10 @@ type severity = Error | Warning | Note
 type diag = { severity : severity; code : string; message : string }
 (** [code] is a stable kebab-case class: [unbound-var], [bad-arity],
     [bad-form], [unreachable], [constant-loop], [unused-binding],
-    [unused-param], [unused-global], [pretenure], [alloc-summary]. *)
+    [unused-param], [unused-global], [pretenure], [alloc-summary],
+    [bytecode-limit] (the compiled form would overflow a bytecode
+    operand field — nesting deeper than the hop budget, too many
+    bindings in one scope, or an oversized constant pool). *)
 
 val analyze : Sexp.t list -> diag list
 (** All diagnostics for a program, in traversal order (unused-global

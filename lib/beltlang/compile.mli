@@ -1,0 +1,13 @@
+(** The Beltlang bytecode compiler: [Ast.program] -> flat code.
+
+    The emitted code's operand stack is the collector's shadow stack,
+    and the compilation discipline keeps it byte-for-byte identical to
+    the AST interpreter's at every allocation site — the property the
+    differential tests (output + GC-stats equality) rest on.
+
+    @raise Ast.Compile_error when the program exceeds a bytecode
+    operand limit (see {!Bytecode.max_a} and friends); the
+    ["bytecode-limit"] lint in {!Analysis} flags such programs
+    statically. *)
+
+val compile : Ast.program -> Bytecode.program

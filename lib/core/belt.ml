@@ -1,19 +1,31 @@
 (* Belts hold few increments (tens at most) and are mutated only at
    collections, so a plain list with O(n) edits is the simplest correct
-   representation. *)
-type t = { mutable index : int; mutable incs : Increment.t list }
+   representation. The back (allocation) increment is additionally
+   cached: [back] sits on the allocation and write-barrier fast paths,
+   where a per-call list walk plus a fresh [option] cell would
+   dominate. The cache is rebuilt at every mutation — all of which
+   happen at collection boundaries, never per-object. *)
+type t = {
+  mutable index : int;
+  mutable incs : Increment.t list;
+  mutable back_cache : Increment.t option;
+}
 
-let create ~index = { index; incs = [] }
+let recache t =
+  t.back_cache <-
+    (match t.incs with [] -> None | l -> Some (List.nth l (List.length l - 1)))
+
+let create ~index = { index; incs = []; back_cache = None }
 let index t = t.index
 let set_index t i = t.index <- i
 let length t = List.length t.incs
 let is_empty t = t.incs = []
 let front t = match t.incs with [] -> None | i :: _ -> Some i
+let[@inline] back t = t.back_cache
 
-let back t =
-  match t.incs with [] -> None | l -> Some (List.nth l (List.length l - 1))
-
-let push_back t inc = t.incs <- t.incs @ [ inc ]
+let push_back t inc =
+  t.incs <- t.incs @ [ inc ];
+  t.back_cache <- Some inc
 
 let remove t inc =
   let found = ref false in
@@ -26,7 +38,8 @@ let remove t inc =
         end
         else true)
       t.incs;
-  if not !found then invalid_arg "Belt.remove: increment not on belt"
+  if not !found then invalid_arg "Belt.remove: increment not on belt";
+  recache t
 
 let iter t f = List.iter f t.incs
 let fold t ~init ~f = List.fold_left f init t.incs
@@ -42,4 +55,6 @@ let swap_contents a b =
   a.incs <- b.incs;
   b.incs <- tmp;
   List.iter (fun (i : Increment.t) -> i.Increment.belt <- a.index) a.incs;
-  List.iter (fun (i : Increment.t) -> i.Increment.belt <- b.index) b.incs
+  List.iter (fun (i : Increment.t) -> i.Increment.belt <- b.index) b.incs;
+  recache a;
+  recache b

@@ -44,8 +44,12 @@ let register_type st ~name =
   stamp_boot_frames st;
   id
 
-let finish_alloc st ~ty ~nfields ~size addr =
-  let tib = Type_registry.tib_value st.State.types ty in
+let tib_value st ty = Type_registry.tib_value st.State.types ty
+
+let alloc_hooks hs ~addr ~tib ~nfields =
+  List.iter (fun (h : State.hooks) -> h.State.on_alloc ~addr ~tib ~nfields) hs
+
+let[@inline] finish_alloc_tib st ~tib ~nfields ~size addr =
   Object_model.init st.State.mem addr ~tib ~nfields;
   let stats = st.State.stats in
   stats.Gc_stats.words_allocated <- stats.Gc_stats.words_allocated + size;
@@ -56,8 +60,35 @@ let finish_alloc st ~ty ~nfields ~size addr =
     ~target:(Value.to_addr tib);
   (match st.State.hooks with
   | [] -> ()
-  | hs -> List.iter (fun h -> h.State.on_alloc ~addr ~tib ~nfields) hs);
+  | hs -> alloc_hooks hs ~addr ~tib ~nfields);
   addr
+
+let finish_alloc st ~ty ~nfields ~size addr =
+  finish_alloc_tib st ~tib:(tib_value st ty) ~nfields ~size addr
+
+(* The narrow fast-path entry point the bytecode VM inlines at its
+   allocating opcodes: the nursery bump hit of [alloc], nothing else.
+   Returns [Addr.null] whenever the slow path must run — LOS-sized
+   request, no open nursery, or no room — having had no side effect
+   at all ([bump_or_null] is side-effect-free on failure), so the
+   caller's fallback to [alloc] replays from the same state and the
+   two paths compose to exactly [alloc]'s behaviour: same stats, same
+   barrier traffic, same hooks. *)
+let[@inline] alloc_small_fast st ~tib ~nfields =
+  let size = Object_model.size_words ~nfields in
+  let large =
+    match st.State.config.Config.los_threshold with
+    | Some threshold -> size >= threshold
+    | None -> false
+  in
+  if large then Addr.null
+  else
+    match Belt.back st.State.belts.(0) with
+    | Some inc when not inc.Increment.sealed ->
+      let addr = Increment.bump_or_null inc ~size in
+      if addr = Addr.null then Addr.null
+      else finish_alloc_tib st ~tib ~nfields ~size addr
+    | _ -> Addr.null
 
 let alloc st ~ty ~nfields =
   if nfields < 0 then invalid_arg "Gc.alloc: negative field count";

@@ -43,6 +43,21 @@ val register_type : t -> name:string -> Type_registry.id
 (** Register (or look up) a type; allocates its immortal type object in
     the boot space. *)
 
+val tib_value : t -> Type_registry.id -> Value.t
+(** The type's TIB reference (immortal, never moves) — cacheable by a
+    runtime that wants type checks as a single word compare, and the
+    [tib] argument of {!alloc_small_fast}. *)
+
+val alloc_small_fast : t -> tib:Value.t -> nfields:int -> Addr.t
+(** The allocation fast path, exposed for inlining at a language
+    runtime's hot allocation sites (the Jikes RVM / MMTk technique):
+    exactly {!alloc}'s nursery bump hit — init, stats, TIB barrier
+    write and hooks included — or [Addr.null], with no side effect,
+    when the slow path must run (LOS-sized request, no open nursery,
+    or no room). On [Addr.null] the caller falls back to {!alloc};
+    the composition is behaviourally identical to calling {!alloc}
+    directly. [tib] must come from {!tib_value}. *)
+
 val alloc : t -> ty:Type_registry.id -> nfields:int -> Addr.t
 (** Allocate an object with [nfields] null fields. May collect first;
     never collects after allocating, so the returned address is valid

@@ -25,7 +25,19 @@ let in_nursery st frame =
   | None -> false
   | Some inc -> Frame_table.incr_of st.State.ftab frame = inc.Increment.id
 
-let record st ~slot ~target =
+(* Out-of-line remembering tail (remset insert + hooks): keeps the
+   inline part — filter and stamp compare — free of closure
+   definitions, which the non-flambda inliner refuses to inline. *)
+let remember_slow st stats ~s ~t ~slot =
+  stats.Gc_stats.barrier_slow <- stats.Gc_stats.barrier_slow + 1;
+  Remset.insert st.State.remsets ~src_frame:s ~tgt_frame:t ~slot;
+  match st.State.hooks with
+  | [] -> ()
+  | hs ->
+    let entries = Remset.total_entries st.State.remsets in
+    List.iter (fun (h : State.hooks) -> h.State.on_barrier_slow ~entries) hs
+
+let[@inline] record st ~slot ~target =
   let stats = st.State.stats in
   stats.Gc_stats.barrier_ops <- stats.Gc_stats.barrier_ops + 1;
   let frame_log = Memory.frame_log st.State.mem in
@@ -46,14 +58,7 @@ let record st ~slot ~target =
       (* The unidirectional condition over the flat stamp table: two
          array reads and a compare on the taken (fast) path. *)
       let ftab = st.State.ftab in
-      if s <> t && Frame_table.stamp ftab t < Frame_table.stamp ftab s then begin
-        stats.Gc_stats.barrier_slow <- stats.Gc_stats.barrier_slow + 1;
-        Remset.insert st.State.remsets ~src_frame:s ~tgt_frame:t ~slot;
-        match st.State.hooks with
-        | [] -> ()
-        | hs ->
-          let entries = Remset.total_entries st.State.remsets in
-          List.iter (fun h -> h.State.on_barrier_slow ~entries) hs
-      end
+      if s <> t && Frame_table.stamp ftab t < Frame_table.stamp ftab s then
+        remember_slow st stats ~s ~t ~slot
       else stats.Gc_stats.barrier_fast <- stats.Gc_stats.barrier_fast + 1
     end

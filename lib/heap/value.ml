@@ -1,23 +1,32 @@
 type t = int
 
-let null = 0
-let of_int n = (n lsl 1) lor 1
+(* All accessors are inline-annotated with out-of-line failure paths:
+   they sit under every interpreter opcode and every collector scan. *)
 
-let to_int v =
-  if v land 1 = 0 then invalid_arg "Value.to_int: not an immediate";
+let null = 0
+let[@inline] of_int n = (n lsl 1) lor 1
+
+let not_immediate () = invalid_arg "Value.to_int: not an immediate"
+
+let[@inline] to_int v =
+  if v land 1 = 0 then not_immediate ();
   v asr 1
 
-let of_addr a =
-  if a = Addr.null then invalid_arg "Value.of_addr: null address";
+let null_addr () = invalid_arg "Value.of_addr: null address"
+
+let[@inline] of_addr a =
+  if a = Addr.null then null_addr ();
   a lsl 1
 
-let to_addr v =
-  if v land 1 = 1 || v = 0 then invalid_arg "Value.to_addr: not a reference";
+let not_a_ref () = invalid_arg "Value.to_addr: not a reference"
+
+let[@inline] to_addr v =
+  if v land 1 = 1 || v = 0 then not_a_ref ();
   v lsr 1
 
-let is_null v = v = 0
-let is_int v = v land 1 = 1
-let is_ref v = v <> 0 && v land 1 = 0
+let[@inline] is_null v = v = 0
+let[@inline] is_int v = v land 1 = 1
+let[@inline] is_ref v = v <> 0 && v land 1 = 0
 
 let pp fmt v =
   if is_null v then Format.pp_print_string fmt "null"

@@ -25,3 +25,23 @@ policy it ran under; a results file without the field is rejected.
   $ beltway-bench --validate nopolicy.json
   nopolicy.json: entry missing string field "policy"
   [1]
+
+Since beltway-bench/4, the file carries a host header (so scaling rows
+are interpretable on whatever box produced them) and the
+interpreter-throughput section; both are checked.
+
+  $ echo '{"schema": "beltway-bench/4", "micro": [], "phases": [], "interpreter": []}' > nohost.json
+  $ beltway-bench --validate nohost.json
+  nohost.json: missing or non-object "host"
+  [1]
+
+  $ echo '{"schema": "beltway-bench/4", "micro": [], "phases": [], "host": {"recommended_domain_count": 8}, "interpreter": [{"name": "tak", "engine": "bytecode", "seconds": 0.1}]}' > badinterp.json
+  $ beltway-bench --validate badinterp.json
+  badinterp.json: entry missing numeric field "ops_per_sec"
+  [1]
+
+Older schema versions are accepted without the newer sections.
+
+  $ echo '{"schema": "beltway-bench/3", "micro": [], "phases": []}' > v3.json
+  $ beltway-bench --validate v3.json
+  v3.json: ok

@@ -16,6 +16,7 @@ let () =
       ("torture", Test_torture.suite);
       ("check", Test_check.suite);
       ("beltlang", Test_beltlang.suite);
+      ("bytecode", Test_bytecode.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("parallel gc", Test_parallel_gc.suite);
