@@ -38,7 +38,8 @@ let dump_bytecode source =
       exit 0)
 
 let run config_str heap_kb source_file builtin list_programs show_stats
-    verify_heap sanitize lint_only trace metrics gc_domains vm_kind dump =
+    verify_heap sanitize lint_only trace metrics profile gc_domains vm_kind
+    dump =
   (match gc_domains with
   | Some n when n < 1 ->
     Printf.eprintf "error: --gc-domains must be >= 1 (got %d)\n" n;
@@ -90,6 +91,15 @@ let run config_str heap_kb source_file builtin list_programs show_stats
         Some (Beltway_obs.Recorder.attach gc)
       else None
     in
+    let profile_file =
+      match profile with
+      | Some _ -> profile
+      | None -> Beltway_obs.Profiler.env_file ()
+    in
+    let profiler =
+      if profile_file <> None then Some (Beltway_obs.Profiler.attach gc)
+      else None
+    in
     (* Both engines share heap layout, output format, errors and GC
        behaviour; the bytecode VM is simply faster (see DESIGN.md). *)
     let run_engine, engine_output =
@@ -131,6 +141,14 @@ let run config_str heap_kb source_file builtin list_programs show_stats
           Beltway_obs.Chrome_trace.write_file f
             (Beltway_obs.Metrics.to_json (Beltway_obs.Recorder.metrics r)))
         metrics);
+    (match (profiler, profile_file) with
+    | Some p, Some f ->
+      Beltway_obs.Profiler.detach p;
+      Beltway_obs.Profiler.write_file f [ Beltway_obs.Profiler.run_json ~name:"beltlang" p ];
+      (* stdout carries the program's own output; the report goes to
+         stderr so profiled and unprofiled stdout stay identical *)
+      Format.eprintf "%a@." (Beltway_obs.Profiler.report ~top:10) p
+    | _ -> ());
     print_string (engine_output ());
     if show_stats then
       (* the summary header names the configuration and its policy *)
@@ -216,6 +234,15 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let profile_arg =
+  let doc =
+    "Attach the object-demographics profiler and write a beltway-profile/1 \
+     JSON report to $(docv); bytecode allocation sites are labelled \
+     $(i,lambda@pc:kind). The text report goes to stderr (stdout carries the \
+     program's output). Overrides $(b,BELTWAY_PROFILE)."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
 let vm_arg =
   let doc =
     "Execution engine: $(b,bytecode) (flat-array compiler and tight dispatch \
@@ -246,6 +273,6 @@ let cmd =
     Term.(
       const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg
       $ stats_arg $ verify_arg $ sanitize_arg $ lint_arg $ trace_arg
-      $ metrics_arg $ gc_domains_arg $ vm_arg $ dump_arg)
+      $ metrics_arg $ profile_arg $ gc_domains_arg $ vm_arg $ dump_arg)
 
 let () = Cmd.eval cmd |> exit

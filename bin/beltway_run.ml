@@ -29,7 +29,7 @@ let list_policies () =
   exit 0
 
 let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
-    metrics policy gc_domains =
+    metrics profile policy gc_domains =
   (match gc_domains with
   | Some n when n < 1 ->
     Printf.eprintf "error: --gc-domains must be >= 1 (got %d)\n" n;
@@ -72,6 +72,30 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
         if trace_file <> None || metrics <> None then
           Some (Beltway_obs.Recorder.attach gc)
         else None
+      in
+      let profile_file =
+        match profile with
+        | Some _ -> profile
+        | None -> Beltway_obs.Profiler.env_file ()
+      in
+      let profiler =
+        if profile_file <> None then Some (Beltway_obs.Profiler.attach gc)
+        else None
+      in
+      let export_profile () =
+        match (profiler, profile_file) with
+        | Some p, Some f ->
+          Beltway_obs.Profiler.detach p;
+          Beltway_obs.Profiler.write_file f
+            [
+              Beltway_obs.Profiler.run_json
+                ~name:bench.Beltway_workload.Spec.name p;
+            ];
+          if not quiet then begin
+            Format.printf "%a@." (Beltway_obs.Profiler.report ~top:10) p;
+            Format.printf "profile:     %s@." f
+          end
+        | _ -> ()
       in
       let export_obs () =
         match recorder with
@@ -133,6 +157,7 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
           | _ -> ())
         end;
         export_obs ();
+        export_profile ();
         if dump then Format.printf "%a@." Beltway.Gc.pp_heap gc;
         if verify_heap then begin
           match Beltway.Verify.check gc with
@@ -144,6 +169,7 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
         sanitizer_report san
       | Error m ->
         export_obs ();
+        export_profile ();
         Format.printf "OUT OF MEMORY after %d collections: %s@."
           (Beltway.Gc_stats.gcs stats) m;
         exit 3))
@@ -204,6 +230,16 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let profile_arg =
+  let doc =
+    "Attach the object-demographics profiler and write a beltway-profile/1 \
+     JSON report (per-site allocation/survival counts, per-belt age \
+     histograms, promotion matrix, occupancy series) to $(docv); a text \
+     top-sites report is printed unless $(b,--quiet). Overrides \
+     $(b,BELTWAY_PROFILE)."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
 let policy_arg =
   let doc =
     "Select the collector policy from the registry by $(docv) (shorthand for \
@@ -226,7 +262,7 @@ let cmd =
     (Cmd.info "beltway-run" ~doc)
     Term.(
       const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg
-      $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg $ policy_arg
-      $ gc_domains_arg)
+      $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg $ profile_arg
+      $ policy_arg $ gc_domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -678,3 +678,48 @@ let compile (prog : Ast.program) : B.program =
     lambdas;
     globals = prog.Ast.globals;
   }
+
+(* Allocation sites of a compiled unit, for the demographics profiler:
+   one (pc, label) pair per allocating opcode (environment frames,
+   closures, call frames, pairs and vectors — the fused
+   superinstructions are allocation-free by construction, so only the
+   six base opcodes appear). Labels name the enclosing lambda — the
+   one with the greatest entry point at or below the pc; toplevel code
+   precedes every lambda body — plus the pc and the allocation kind,
+   e.g. ["fib@42:frame"]. *)
+let alloc_sites (p : B.program) =
+  let owner pc =
+    let best = ref None in
+    Array.iter
+      (fun (li : B.lambda_info) ->
+        if li.B.l_entry <= pc then
+          match !best with
+          | Some (b : B.lambda_info) when b.B.l_entry >= li.B.l_entry -> ()
+          | _ -> best := Some li)
+      p.B.lambdas;
+    match !best with
+    | Some li -> li.B.l_name
+    | None -> "<toplevel>"
+  in
+  let acc = ref [] in
+  let n = Array.length p.B.code in
+  let pc = ref 0 in
+  while !pc < n do
+    let insn = p.B.code.(!pc) in
+    let opc = B.op insn in
+    let kind =
+      if opc = B.op_enter_env then Some "env"
+      else if opc = B.op_closure then Some "closure"
+      else if opc = B.op_call then Some "frame"
+      else if opc = B.op_qpair then Some "quote"
+      else if opc = B.op_cons then Some "cons"
+      else if opc = B.op_vec_make then Some "vector"
+      else None
+    in
+    (match kind with
+    | Some k ->
+      acc := (!pc, Printf.sprintf "%s@%d:%s" (owner !pc) !pc k) :: !acc
+    | None -> ());
+    pc := !pc + B.insn_len insn
+  done;
+  Array.of_list (List.rev !acc)

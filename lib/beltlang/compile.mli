@@ -11,3 +11,10 @@
     statically. *)
 
 val compile : Ast.program -> Bytecode.program
+
+val alloc_sites : Bytecode.program -> (int * string) array
+(** The allocating opcodes of a compiled unit as (pc, label) pairs in
+    code order; labels are ["<lambda-name>@<pc>:<kind>"] with kind one
+    of [env]/[closure]/[frame]/[quote]/[cons]/[vector] and
+    ["<toplevel>"] for code outside any lambda. The VM interns these
+    as allocation sites when a profiler may be listening. *)

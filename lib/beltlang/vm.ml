@@ -40,6 +40,10 @@ type unit_ctx = {
   u_strings : string array;
   u_genv : Roots.global array;
   u_base : int; (* this unit's offset into the persistent lambda table *)
+  u_sites : int array;
+      (* per-pc allocation-site id (code length; 0 where not an
+         allocating opcode) — handlers stamp [State.alloc_site] before
+         allocating so a profiler can attribute the object *)
 }
 
 type rt_lambda = {
@@ -77,7 +81,14 @@ let create gc =
   let closure_ty = Beltway.Gc.register_type gc ~name:"beltlang.closure" in
   let env_ty = Beltway.Gc.register_type gc ~name:"beltlang.env" in
   let dummy_unit =
-    { u_code = [||]; u_consts = [||]; u_strings = [||]; u_genv = [||]; u_base = 0 }
+    {
+      u_code = [||];
+      u_consts = [||];
+      u_strings = [||];
+      u_genv = [||];
+      u_base = 0;
+      u_sites = [||];
+    }
   in
   {
     gc;
@@ -388,6 +399,7 @@ let exec t (unit0 : unit_ctx) ~fp:fp0 =
       else loop u code pc fp
     | 14 (* enter-env *) ->
       let k = Bytecode.b insn in
+      t.st.State.alloc_site <- Array.unsafe_get u.u_sites (pc - 1);
       let frame = alloc t ~ty:t.env_ty ~tib:t.env_tib ~nfields:(k + 1) in
       (* parent read after the allocation: the stack slot tracks
          any move the collection performed *)
@@ -403,6 +415,7 @@ let exec t (unit0 : unit_ctx) ~fp:fp0 =
       Roots.push r result;
       loop u code pc fp
     | 16 (* closure *) ->
+      t.st.State.alloc_site <- Array.unsafe_get u.u_sites (pc - 1);
       let addr = alloc t ~ty:t.closure_ty ~tib:t.closure_tib ~nfields:2 in
       write t addr 0 (Roots.stack_get r (fp + Bytecode.a insn));
       write t addr 1 (Value.of_int (u.u_base + Bytecode.b insn));
@@ -416,6 +429,7 @@ let exec t (unit0 : unit_ctx) ~fp:fp0 =
       let lam = Vec.get t.lambdas lam_id in
       if lam.rl_params <> nargs then
         err "%s expects %d arguments, got %d" lam.rl_name lam.rl_params nargs;
+      t.st.State.alloc_site <- Array.unsafe_get u.u_sites (pc - 1);
       let frame = alloc t ~ty:t.env_ty ~tib:t.env_tib ~nfields:(nargs + 1) in
       (* re-resolve the closure: the allocation may have moved it *)
       let clos = Value.to_addr (Roots.peek r nargs) in
@@ -445,6 +459,7 @@ let exec t (unit0 : unit_ctx) ~fp:fp0 =
         (Array.unsafe_get frames.f_pc n)
         (Array.unsafe_get frames.f_fp n)
     | 19 (* qpair: [tail head] -> pair *) ->
+      t.st.State.alloc_site <- Array.unsafe_get u.u_sites (pc - 1);
       let pair = alloc t ~ty:t.pair_ty ~tib:t.pair_tib ~nfields:2 in
       write t pair 0 (Roots.peek r 0);
       write t pair 1 (Roots.peek r 1);
@@ -452,6 +467,7 @@ let exec t (unit0 : unit_ctx) ~fp:fp0 =
       Roots.push r (Value.of_addr pair);
       loop u code pc fp
     | 20 (* cons *) ->
+      t.st.State.alloc_site <- Array.unsafe_get u.u_sites (pc - 1);
       let pair = alloc t ~ty:t.pair_ty ~tib:t.pair_tib ~nfields:2 in
       write t pair 0 (Roots.peek r 1);
       write t pair 1 (Roots.peek r 0);
@@ -560,6 +576,7 @@ let exec t (unit0 : unit_ctx) ~fp:fp0 =
     | 39 (* make-vector *) ->
       let len = as_int "make-vector" (Roots.peek r 1) in
       if len < 0 then err "make-vector: negative length";
+      t.st.State.alloc_site <- Array.unsafe_get u.u_sites (pc - 1);
       let v = alloc t ~ty:t.vector_ty ~tib:t.vector_tib ~nfields:len in
       let fill = Roots.peek r 0 in
       if not (Value.is_null fill) then
@@ -812,6 +829,14 @@ let run_compiled t (bc : Bytecode.program) =
           g)
       bc.Bytecode.globals
   in
+  (* Intern this unit's allocation sites so a profiler (attached now
+     or later) can attribute objects to bytecode pcs. Interning is
+     OCaml-side only — no simulated-heap traffic, stats unchanged. *)
+  let u_sites = Array.make (Array.length bc.Bytecode.code) 0 in
+  Array.iter
+    (fun (pc, label) ->
+      u_sites.(pc) <- Beltway.Gc.register_site t.gc ~name:label)
+    (Compile.alloc_sites bc);
   let u =
     {
       u_code = bc.Bytecode.code;
@@ -819,6 +844,7 @@ let run_compiled t (bc : Bytecode.program) =
       u_strings = bc.Bytecode.strings;
       u_genv = genv;
       u_base = base;
+      u_sites;
     }
   in
   Array.iter
@@ -838,6 +864,8 @@ let run_compiled t (bc : Bytecode.program) =
     ~finally:(fun () -> Roots.release r m)
     (fun () ->
       (* Top level runs in a degenerate root frame, as in Interp. *)
+      t.st.State.alloc_site <-
+        Beltway.Gc.register_site t.gc ~name:"<toplevel>:frame";
       let frame = alloc t ~ty:t.env_ty ~tib:t.env_tib ~nfields:1 in
       Roots.push r (Value.of_addr frame);
       exec t u ~fp:(Roots.depth r - 1))

@@ -99,6 +99,7 @@ let dropped t = t.dropped
 let ok t = t.count = 0
 let collections_checked t = t.collections
 let tracked t = Shadow.tracked t.shadow
+let shadow t = t.shadow
 
 let report fmt t =
   List.iter (fun v -> Format.fprintf fmt "sanitizer: %s@." v) (violations t);

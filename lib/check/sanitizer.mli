@@ -55,5 +55,9 @@ val ok : t -> bool
 val collections_checked : t -> int
 val tracked : t -> int
 
+val shadow : t -> Shadow.t
+(** The underlying shadow heap — the profiler differential reads its
+    lifetime oracle. *)
+
 val report : Format.formatter -> t -> unit
 (** One line per violation, then a summary count. *)

@@ -15,13 +15,40 @@ type entry = {
   fields : sval array;
 }
 
+(* The lifetime oracle: exact birth records and an append-only move
+   log, kept SEPARATELY from the graph mirror above. [diff] purges
+   unreachable entries from [by_addr]/[by_id] (their addresses may be
+   reused), but the collector can still legitimately move an object
+   the mutator already dropped (remset-retained garbage) — the
+   profiler attributes those copies too, so the oracle it is checked
+   against must keep their birth records. Address reuse is handled by
+   replace-on-alloc: an address that is the source of a move is a live
+   slot in a live frame, so its lifetime record is necessarily the one
+   written by the allocation that created the object there. *)
+type lt = { lt_site : int; lt_birth : int; lt_words : int }
+
+type move_record = {
+  m_site : int;
+  m_src_belt : int;
+  m_dst_belt : int;
+  m_age : int; (* allocation-clock words since birth *)
+  m_words : int;
+}
+
 type t = {
   gc : Beltway.Gc.t;
   by_addr : (Addr.t, entry) Hashtbl.t;
   by_id : (int, entry) Hashtbl.t;
   mutable next_id : int;
   reached : (int, unit) Hashtbl.t; (* scratch for [diff] *)
+  lt_by_addr : (Addr.t, lt) Hashtbl.t; (* lifetime oracle, never purged *)
+  moves : move_record Beltway_util.Vec.t;
+  mutable lt_alloc_objects : int array; (* per site, grown on demand *)
+  mutable lt_alloc_words : int array;
 }
+
+let dummy_move =
+  { m_site = 0; m_src_belt = -1; m_dst_belt = -1; m_age = 0; m_words = 0 }
 
 let create gc =
   {
@@ -30,9 +57,26 @@ let create gc =
     by_id = Hashtbl.create 1024;
     next_id = 0;
     reached = Hashtbl.create 1024;
+    lt_by_addr = Hashtbl.create 1024;
+    moves = Beltway_util.Vec.create ~dummy:dummy_move ();
+    lt_alloc_objects = Array.make 8 0;
+    lt_alloc_words = Array.make 8 0;
   }
 
 let tracked t = Hashtbl.length t.by_id
+
+let ensure_site t s =
+  let n = Array.length t.lt_alloc_objects in
+  if s >= n then begin
+    let n' = max (s + 1) (2 * n) in
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.lt_alloc_objects <- grow t.lt_alloc_objects;
+    t.lt_alloc_words <- grow t.lt_alloc_words
+  end
 
 let note_alloc t ~addr ~tib ~nfields =
   let e = { id = t.next_id; addr; tib; fields = Array.make nfields (Imm Value.null) } in
@@ -41,7 +85,19 @@ let note_alloc t ~addr ~tib ~nfields =
      [addr] would have had to be freed or moved first, and both paths
      remove the old mapping (purge in [diff], re-key in [note_move]). *)
   Hashtbl.replace t.by_addr addr e;
-  Hashtbl.replace t.by_id e.id e
+  Hashtbl.replace t.by_id e.id e;
+  let st = Beltway.Gc.state t.gc in
+  let site = st.State.alloc_site in
+  ensure_site t site;
+  t.lt_alloc_objects.(site) <- t.lt_alloc_objects.(site) + 1;
+  let words = Object_model.size_words ~nfields in
+  t.lt_alloc_words.(site) <- t.lt_alloc_words.(site) + words;
+  Hashtbl.replace t.lt_by_addr addr
+    {
+      lt_site = site;
+      lt_birth = st.State.stats.Beltway.Gc_stats.words_allocated;
+      lt_words = words;
+    }
 
 let classify t st v ~violation =
   if not (Value.is_ref v) then Imm v
@@ -75,6 +131,27 @@ let note_write t ~obj ~field ~value ~violation =
     end
 
 let note_move t ~src ~dst ~violation =
+  (* Lifetime oracle first: it also covers moves of objects [diff] has
+     already purged from the graph mirror (dead but remset-retained). *)
+  (match Hashtbl.find_opt t.lt_by_addr src with
+  | None -> () (* allocated before attach *)
+  | Some lt ->
+    let st = Beltway.Gc.state t.gc in
+    let belt_of a =
+      match State.inc_of_frame st (State.frame_of_addr st a) with
+      | Some inc -> inc.Beltway.Increment.belt
+      | None -> -1
+    in
+    Beltway_util.Vec.push t.moves
+      {
+        m_site = lt.lt_site;
+        m_src_belt = belt_of src;
+        m_dst_belt = belt_of dst;
+        m_age = st.State.stats.Beltway.Gc_stats.words_allocated - lt.lt_birth;
+        m_words = lt.lt_words;
+      };
+    Hashtbl.remove t.lt_by_addr src;
+    Hashtbl.replace t.lt_by_addr dst lt);
   match Hashtbl.find_opt t.by_addr src with
   | None ->
     (* The collector may legitimately evacuate objects the shadow never
@@ -204,3 +281,15 @@ let diff t ~violation =
       | _ -> ());
       Hashtbl.remove t.by_id id)
     dead
+
+(* ---- lifetime-oracle accessors (for the profiler differential) ---- *)
+
+let site_alloc_objects t s =
+  if s >= 0 && s < Array.length t.lt_alloc_objects then t.lt_alloc_objects.(s)
+  else 0
+
+let site_alloc_words t s =
+  if s >= 0 && s < Array.length t.lt_alloc_words then t.lt_alloc_words.(s)
+  else 0
+
+let moves t = Beltway_util.Vec.to_array t.moves

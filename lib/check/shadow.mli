@@ -52,3 +52,30 @@ val diff : t -> violation:(string -> unit) -> unit
 
 val tracked : t -> int
 (** Entries currently mirrored (reachable or not-yet-purged). *)
+
+(** {2 Lifetime oracle}
+
+    Alongside the graph mirror, the shadow keeps an exact demographic
+    record: per-site allocation counts and one {!move_record} per
+    collector move, stamped with the allocation site, source and
+    destination belts, age on the allocation clock and object size.
+    Unlike the mirror this record is never purged — a dead but
+    remset-retained object can still be moved, and the profiler
+    attributes that copy, so the oracle it is differenced against must
+    too. *)
+
+type move_record = {
+  m_site : int;  (** allocation-site id at birth *)
+  m_src_belt : int;  (** -1 when the frame was unowned *)
+  m_dst_belt : int;
+  m_age : int;  (** allocation-clock words since birth *)
+  m_words : int;  (** object size *)
+}
+
+val site_alloc_objects : t -> int -> int
+(** Objects allocated at a site while the shadow was attached. *)
+
+val site_alloc_words : t -> int -> int
+
+val moves : t -> move_record array
+(** The move log, in collector order. *)

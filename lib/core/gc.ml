@@ -149,6 +149,12 @@ let reserve_frames st = Copy_reserve.frames st
 let set_gc_domains st n = State.set_gc_domains st n
 let gc_domains st = st.State.gc_domains
 let state st = st
+let register_site st ~name = State.register_site st ~name
+let set_alloc_site st site = st.State.alloc_site <- site
+let alloc_site st = st.State.alloc_site
+let site_name st id = State.site_name st id
+let site_count st = State.site_count st
+let type_name st ty = Type_registry.name st.State.types ty
 
 let pp_heap fmt st =
   Format.fprintf fmt "@[<v>heap: %d/%d frames used, reserve %d, remsets %d entries"

@@ -120,6 +120,29 @@ val gc_domains : t -> int
 val env_gc_domains : unit -> int option
 (** The [BELTWAY_GC_DOMAINS] environment default, if set and valid. *)
 
+val register_site : t -> name:string -> int
+(** Intern an allocation-site label (see {!State.register_site}):
+    idempotent, dense ids, id 0 is "unknown". Never allocates on the
+    simulated heap, so site registration cannot perturb GC behaviour. *)
+
+val set_alloc_site : t -> int -> unit
+(** Attribute subsequent allocations to a site id. The channel is
+    sticky: instrumented mutators set it immediately before every
+    allocation; uninstrumented allocations inherit the last value
+    (initially 0, "unknown"). Only observation hooks read it. *)
+
+val alloc_site : t -> int
+(** The site id currently in force. *)
+
+val site_name : t -> int -> string
+(** Label of a site id ("unknown" for out-of-range ids). *)
+
+val site_count : t -> int
+(** Number of registered sites, including "unknown". *)
+
+val type_name : t -> Type_registry.id -> string
+(** Registered name of a type id (for site labels derived from types). *)
+
 val state : t -> State.t
 (** The underlying state — for the integrity verifier, the oracle and
     white-box tests; mutating it directly voids all warranties. *)

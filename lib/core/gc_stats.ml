@@ -115,6 +115,10 @@ let create () =
 let record_collection t c = Vec.push t.collections c
 let gcs t = Vec.length t.collections
 
+let last t =
+  let n = gcs t in
+  if n = 0 then None else Some (Vec.get t.collections (n - 1))
+
 let total_copied_words t =
   Vec.fold (fun acc c -> acc + c.copied_words) 0 t.collections
 

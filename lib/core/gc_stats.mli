@@ -85,6 +85,10 @@ val create : unit -> t
 val record_collection : t -> collection -> unit
 
 val gcs : t -> int
+
+val last : t -> collection option
+(** The most recently recorded collection, if any. *)
+
 val total_copied_words : t -> int
 val total_freed_frames : t -> int
 

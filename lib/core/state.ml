@@ -136,6 +136,16 @@ type t = {
   mutable clock_us : unit -> float;
       (* timestamp source for per-domain phase spans; returns 0 until
          a flight recorder installs its clock *)
+  mutable alloc_site : int;
+      (* allocation-site id the next [on_alloc] firing is attributed
+         to; 0 is the catch-all "unknown" site. Instrumented mutators
+         (the bytecode VM, the synthetic workloads) store here right
+         before allocating; nothing in the collector reads it. *)
+  site_names : string Beltway_util.Vec.t;
+      (* site id -> label; index 0 is "unknown". OCaml-side only —
+         registration never touches the simulated heap, so attaching
+         site ids cannot perturb figure output. *)
+  site_ids : (string, int) Hashtbl.t; (* label -> site id *)
 }
 
 and policy = {
@@ -196,6 +206,10 @@ let create ~config ~policy ~heap_frames ~frame_log_words =
   let stats = Gc_stats.create () in
   stats.Gc_stats.config_label <- config.Config.label;
   stats.Gc_stats.policy_name <- policy.policy_name;
+  let site_names = Beltway_util.Vec.create ~dummy:"" () in
+  Beltway_util.Vec.push site_names "unknown";
+  let site_ids = Hashtbl.create 64 in
+  Hashtbl.replace site_ids "unknown" 0;
   {
     mem;
     boot;
@@ -229,6 +243,9 @@ let create ~config ~policy ~heap_frames ~frame_log_words =
     gc_lock = Mutex.create ();
     gc_par = [||];
     clock_us = (fun () -> 0.);
+    alloc_site = 0;
+    site_names;
+    site_ids;
   }
 
 let set_gc_domains t n =
@@ -265,6 +282,23 @@ let par_domains t n =
 
 let add_hooks t h = t.hooks <- t.hooks @ [ h ]
 let remove_hooks t h = t.hooks <- List.filter (fun h' -> h' != h) t.hooks
+
+(* Allocation-site registry: idempotent by label, dense ids from 0
+   ("unknown"). Lives entirely on the OCaml side of the simulation. *)
+let register_site t ~name =
+  match Hashtbl.find_opt t.site_ids name with
+  | Some id -> id
+  | None ->
+    let id = Beltway_util.Vec.length t.site_names in
+    Beltway_util.Vec.push t.site_names name;
+    Hashtbl.replace t.site_ids name id;
+    id
+
+let site_count t = Beltway_util.Vec.length t.site_names
+
+let site_name t id =
+  if id >= 0 && id < site_count t then Beltway_util.Vec.get t.site_names id
+  else "unknown"
 
 let heap_words t = t.heap_frames * Memory.frame_words t.mem
 let free_frames t = t.heap_frames - t.frames_used

@@ -184,6 +184,15 @@ type t = {
   mutable clock_us : unit -> float;
       (** timestamp source for per-domain phase spans; returns 0 until
           a flight recorder installs its clock *)
+  mutable alloc_site : int;
+      (** allocation-site id the next [on_alloc] firing is attributed
+          to; 0 is the catch-all "unknown" site. Instrumented mutators
+          store here right before allocating; the collector never
+          reads it. *)
+  site_names : string Beltway_util.Vec.t;
+      (** site id -> label; index 0 is "unknown". OCaml-side only —
+          registering sites never touches the simulated heap. *)
+  site_ids : (string, int) Hashtbl.t;  (** label -> site id *)
 }
 
 and policy = {
@@ -218,6 +227,18 @@ val add_hooks : t -> hooks -> unit
 val remove_hooks : t -> hooks -> unit
 (** Uninstall a hook set previously passed to {!add_hooks} (matched by
     physical identity). *)
+
+val register_site : t -> name:string -> int
+(** Intern an allocation-site label, returning its dense id
+    (idempotent: the same label always yields the same id). Id 0 is
+    the pre-registered "unknown" site. Registration allocates nothing
+    on the simulated heap. *)
+
+val site_count : t -> int
+(** Number of registered sites, including "unknown". *)
+
+val site_name : t -> int -> string
+(** Label of a site id; out-of-range ids map to "unknown". *)
 
 val create :
   config:Config.t -> policy:policy -> heap_frames:int -> frame_log_words:int -> t

@@ -262,3 +262,4 @@ let cas_word t a ~expect ~desired =
 
 let frame_base t idx = idx lsl t.frame_log
 let addr_frame t a = a lsr t.frame_log
+let addr_offset t a = a land (t.frame_words - 1)

@@ -120,3 +120,7 @@ val frame_base : t -> int -> Addr.t
 
 val addr_frame : t -> Addr.t -> int
 (** Frame index of an address (shift). *)
+
+val addr_offset : t -> Addr.t -> int
+(** Word offset of an address within its frame (mask) — the slot key
+    for per-frame side tables. *)

@@ -43,8 +43,18 @@ let gauge t name =
 
 let histogram t name = Hashtbl.find_opt t.hists name
 
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists
+
 let sorted_keys tbl =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let histogram_names t = sorted_keys t.hists
+
+let iter_histograms t f =
+  List.iter (fun k -> f k (Hashtbl.find t.hists k)) (sorted_keys t.hists)
 
 let quantiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
 

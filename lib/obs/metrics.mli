@@ -28,6 +28,18 @@ val gauge : t -> string -> float
 
 val histogram : t -> string -> Beltway_util.Histogram.t option
 
+val reset : t -> unit
+(** Drop every counter, gauge and histogram — repeated in-process runs
+    (the bench baseline diff, test grids) start from a clean registry
+    instead of accumulating stale state. *)
+
+val histogram_names : t -> string list
+(** Registered histogram names, sorted — the stable export order. *)
+
+val iter_histograms : t -> (string -> Beltway_util.Histogram.t -> unit) -> unit
+(** Visit histograms in sorted-name order (same order as
+    {!histogram_names} and the JSON export). *)
+
 val to_json : t -> Beltway_util.Json.t
 (** The [beltway-metrics/1] snapshot: counters and gauges by name,
     histograms as [{count; mean; max; p50; p90; p99}]. Keys are sorted,

@@ -57,6 +57,14 @@ let run_traced ?(model = Cost_model.default) ?capacity ?gc_domains ~bench
   Beltway_obs.Recorder.detach recorder;
   (result, recorder)
 
+let run_profiled ?(model = Cost_model.default) ?gc_domains ~bench ~config
+    ~heap_frames () =
+  let gc = make_gc ?gc_domains ~config ~heap_frames () in
+  let profiler = Beltway_obs.Profiler.attach gc in
+  let result = run_on gc ~model ~bench ~config ~heap_frames in
+  Beltway_obs.Profiler.detach profiler;
+  (result, profiler)
+
 let crosscheck_mmu ?(model = Cost_model.default) result recorder =
   let tl = Mmu.timeline model result.stats in
   Mmu.crosscheck tl

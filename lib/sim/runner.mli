@@ -55,6 +55,19 @@ val run_traced :
     before returning; export it with [Beltway_obs.Chrome_trace] /
     [Beltway_obs.Metrics.to_json]. *)
 
+val run_profiled :
+  ?model:Cost_model.t ->
+  ?gc_domains:int ->
+  bench:Beltway_workload.Spec.t ->
+  config:Config.t ->
+  heap_frames:int ->
+  unit ->
+  result * Beltway_obs.Profiler.t
+(** [run_one] with the object-demographics profiler attached for the
+    duration of the workload; detached before returning, so its
+    accumulated data is stable. Export with
+    [Beltway_obs.Profiler.run_json]. *)
+
 val crosscheck_mmu :
   ?model:Cost_model.t -> result -> Beltway_obs.Recorder.t -> Mmu.drift
 (** Compare the cost-model pause timeline reconstructed from

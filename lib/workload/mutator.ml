@@ -10,6 +10,10 @@ type t = {
   free_slots : Roots.global Vec.t;
   deaths : handle Pqueue.t;
   dummy_global : Roots.global;
+  mutable site_of_ty : int array;
+      (* type id -> interned allocation-site id, -1 until first use;
+         synthetic workloads allocate by type, so the type name is the
+         natural site label for the demographics profiler *)
 }
 
 let create ?(seed = 0x5EED) gc =
@@ -21,7 +25,29 @@ let create ?(seed = 0x5EED) gc =
     free_slots = Vec.create ~dummy:dummy_global ();
     deaths = Pqueue.create ~dummy:{ slot = dummy_global; live = false } ();
     dummy_global;
+    site_of_ty = Array.make 16 (-1);
   }
+
+(* Stamp the allocation-site channel with this type's site (interned
+   lazily: site registration never touches the simulated heap). *)
+let stamp_site t ~ty =
+  let n = Array.length t.site_of_ty in
+  if ty >= n then begin
+    let a = Array.make (max (ty + 1) (2 * n)) (-1) in
+    Array.blit t.site_of_ty 0 a 0 n;
+    t.site_of_ty <- a
+  end;
+  let site =
+    match t.site_of_ty.(ty) with
+    | -1 ->
+      let site =
+        Beltway.Gc.register_site t.gc ~name:(Beltway.Gc.type_name t.gc ty)
+      in
+      t.site_of_ty.(ty) <- site;
+      site
+    | site -> site
+  in
+  Beltway.Gc.set_alloc_site t.gc site
 
 let gc t = t.gc
 let rng t = t.prng
@@ -57,6 +83,7 @@ let live_handles t =
   Roots.global_count (Beltway.Gc.roots t.gc) - Vec.length t.free_slots - 1
 
 let alloc t ~ty ~nfields =
+  stamp_site t ~ty;
   let addr = Beltway.Gc.alloc t.gc ~ty ~nfields in
   retain t addr
 
@@ -68,7 +95,9 @@ let alloc_dying t ~ty ~nfields ~dies_in =
   schedule_drop t h ~dies_in;
   h
 
-let alloc_temp t ~ty ~nfields = ignore (Beltway.Gc.alloc t.gc ~ty ~nfields)
+let alloc_temp t ~ty ~nfields =
+  stamp_site t ~ty;
+  ignore (Beltway.Gc.alloc t.gc ~ty ~nfields)
 
 let link t ~from ~field ~to_ =
   let target = Value.of_addr (get t to_) in
@@ -83,6 +112,7 @@ let alloc_into t ~parent ~field ~ty ~nfields =
   (* The allocation may collect and move the parent; its handle is
      re-read afterwards, and the fresh address is valid because nothing
      allocates in between. *)
+  stamp_site t ~ty;
   let addr = Beltway.Gc.alloc t.gc ~ty ~nfields in
   Beltway.Gc.write t.gc (get t parent) field (Value.of_addr addr)
 

@@ -39,7 +39,12 @@ val drop : t -> handle -> unit
 
 val live_handles : t -> int
 
-(** {2 Allocation} *)
+(** {2 Allocation}
+
+    Every allocation stamps the heap's allocation-site channel
+    ({!Beltway.Gc.set_alloc_site}) with a site interned from the
+    object's registered type name, so an attached demographics
+    profiler attributes synthetic-workload objects per type. *)
 
 val alloc : t -> ty:Type_registry.id -> nfields:int -> handle
 (** Allocate and immediately root. *)

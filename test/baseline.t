@@ -1,0 +1,116 @@
+The bench harness can gate a run against a prior results file:
+--baseline OLD --compare NEW diffs two results files section by
+section (micro ns_per_run at 1.30x, phase seconds at 1.50x,
+interpreter ops_per_sec at 0.90x) and exits non-zero on any
+regression.
+
+  $ cat > old.json << 'EOF'
+  > {
+  >   "schema": "beltway-bench/4",
+  >   "micro": [
+  >     {"name": "alloc", "policy": "appel", "ns_per_run": 100.0},
+  >     {"name": "barrier", "policy": "ss", "ns_per_run": 50.0}
+  >   ],
+  >   "phases": [
+  >     {"phase": "micro", "seconds": 2.0, "jobs": 2, "gc_domains": 1}
+  >   ],
+  >   "interpreter": [
+  >     {"name": "gcbench", "engine": "bytecode", "seconds": 1.0, "ops_per_sec": 1000.0}
+  >   ]
+  > }
+  > EOF
+
+A rerun within every threshold passes (exit 0).
+
+  $ cat > clean.json << 'EOF'
+  > {
+  >   "schema": "beltway-bench/4",
+  >   "micro": [
+  >     {"name": "alloc", "policy": "appel", "ns_per_run": 105.0},
+  >     {"name": "barrier", "policy": "ss", "ns_per_run": 48.0}
+  >   ],
+  >   "phases": [
+  >     {"phase": "micro", "seconds": 2.2, "jobs": 2, "gc_domains": 1}
+  >   ],
+  >   "interpreter": [
+  >     {"name": "gcbench", "engine": "bytecode", "seconds": 1.02, "ops_per_sec": 980.0}
+  >   ]
+  > }
+  > EOF
+  $ beltway-bench --baseline old.json --compare clean.json
+  baseline check: clean.json vs old.json
+  baseline: 4 compared, 0 skipped, 0 regression(s)
+
+An injected regression — a 50% slower micro-benchmark and a 15% drop
+in interpreter throughput — is caught, named, and fails the gate.
+
+  $ cat > regressed.json << 'EOF'
+  > {
+  >   "schema": "beltway-bench/4",
+  >   "micro": [
+  >     {"name": "alloc", "policy": "appel", "ns_per_run": 150.0},
+  >     {"name": "barrier", "policy": "ss", "ns_per_run": 48.0}
+  >   ],
+  >   "phases": [
+  >     {"phase": "micro", "seconds": 2.2, "jobs": 2, "gc_domains": 1}
+  >   ],
+  >   "interpreter": [
+  >     {"name": "gcbench", "engine": "bytecode", "seconds": 1.18, "ops_per_sec": 850.0}
+  >   ]
+  > }
+  > EOF
+  $ beltway-bench --baseline old.json --compare regressed.json
+  baseline check: regressed.json vs old.json
+    REGRESSION: micro alloc/appel ns_per_run 100 -> 150 (1.50x, limit 1.30x)
+    REGRESSION: interpreter gcbench/bytecode ops_per_sec 1000 -> 850 (0.85x, limit 0.90x)
+  baseline: 4 compared, 0 skipped, 2 regression(s)
+  [1]
+
+Entries present only on one side are reported but never fail the gate
+(benchmarks come and go), and null metrics are skipped.
+
+  $ cat > sparse.json << 'EOF'
+  > {
+  >   "schema": "beltway-bench/4",
+  >   "micro": [
+  >     {"name": "alloc", "policy": "appel", "ns_per_run": null}
+  >   ],
+  >   "phases": [],
+  >   "interpreter": []
+  > }
+  > EOF
+  $ beltway-bench --baseline old.json --compare sparse.json
+  baseline check: sparse.json vs old.json
+    skipped: micro barrier/ss missing from sparse.json
+    skipped: phases micro/gc1 missing from sparse.json
+    skipped: interpreter gcbench/bytecode missing from sparse.json
+  baseline: 0 compared, 4 skipped, 0 regression(s)
+
+A file marked as a smoke run carries measurement-free noise (tiny
+bechamel quota): the gate still reports what it sees but the exit
+stays 0 — only full-quota runs are enforced.
+
+  $ cat > smoke.json << 'EOF'
+  > {
+  >   "schema": "beltway-bench/5",
+  >   "smoke": true,
+  >   "micro": [
+  >     {"name": "alloc", "policy": "appel", "ns_per_run": 150.0}
+  >   ],
+  >   "phases": [],
+  >   "interpreter": []
+  > }
+  > EOF
+  $ beltway-bench --baseline old.json --compare smoke.json
+  baseline check: smoke.json vs old.json
+    REGRESSION: micro alloc/appel ns_per_run 100 -> 150 (1.50x, limit 1.30x)
+    skipped: micro barrier/ss missing from smoke.json
+    skipped: phases micro/gc1 missing from smoke.json
+    skipped: interpreter gcbench/bytecode missing from smoke.json
+  baseline: 1 compared, 3 skipped, 1 regression(s) [advisory: smoke-quota timings]
+
+--compare without a baseline is a usage error.
+
+  $ beltway-bench --compare clean.json
+  error: --compare requires --baseline OLD.json
+  [2]

@@ -40,6 +40,26 @@ interpreter-throughput section; both are checked.
   badinterp.json: entry missing numeric field "ops_per_sec"
   [1]
 
+Since beltway-bench/5, the file names the regression gate it was held
+to (the "baseline" thresholds) and carries a profile-output pointer.
+
+  $ echo '{"schema": "beltway-bench/5", "micro": [], "phases": [], "host": {"recommended_domain_count": 8}, "interpreter": []}' > nobaseline.json
+  $ beltway-bench --validate nobaseline.json
+  nobaseline.json: missing or non-object "baseline"
+  [1]
+
+  $ echo '{"schema": "beltway-bench/5", "micro": [], "phases": [], "host": {"recommended_domain_count": 8}, "interpreter": [], "baseline": {"micro_max_ratio": 1.3, "phases_max_ratio": 1.5, "interpreter_min_ratio": 0.9}, "profile": null}' > v5.json
+  $ beltway-bench --validate v5.json
+  v5.json: ok
+
+Unknown or future schema strings are rejected outright — a validator
+that waves through a schema it does not know checks nothing.
+
+  $ echo '{"schema": "beltway-bench/9", "micro": [], "phases": []}' > future.json
+  $ beltway-bench --validate future.json
+  future.json: unknown schema "beltway-bench/9"
+  [1]
+
 Older schema versions are accepted without the newer sections.
 
   $ echo '{"schema": "beltway-bench/3", "micro": [], "phases": []}' > v3.json

@@ -19,5 +19,6 @@ let () =
       ("bytecode", Test_bytecode.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
+      ("profiler", Test_profiler.suite);
       ("parallel gc", Test_parallel_gc.suite);
     ]

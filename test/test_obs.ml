@@ -220,6 +220,93 @@ let test_crosscheck_real_run () =
   checkb "shares are fractions" true
     (d.Mmu.mean_share_dev >= 0.0 && d.Mmu.max_share_dev <= 1.0)
 
+(* ---- phase-span balance (property, raw hooks) ---- *)
+
+(* Every phase-span begin must have a matching end, strictly inside
+   its collection's start/end pair — the invariant the recorder's span
+   reconstruction and the profiler's sampling both lean on. Checked
+   with raw hooks (no observer in between) across a config grid and
+   every registered policy's exemplar configuration. *)
+let test_phase_span_balance () =
+  let exemplars =
+    List.map (fun (name, _) -> Beltway.Policy.exemplar name)
+      Beltway.Policy.registry
+  in
+  List.iter
+    (fun config_str ->
+      let gc = Gc.create ~config:(cfg config_str) ~heap_bytes:(256 * 1024) () in
+      let st = Gc.state gc in
+      let in_gc = ref false and open_spans = Hashtbl.create 8 in
+      let collect_ends = ref 0 in
+      let bad = ref [] in
+      let fail fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+      let hooks =
+        {
+          State.noop_hooks with
+          on_collect_start =
+            (fun ~reason:_ ~emergency:_ ->
+              if !in_gc then fail "%s: nested collection" config_str;
+              in_gc := true);
+          on_gc_phase =
+            (fun ~phase ~enter ->
+              if not !in_gc then
+                fail "%s: phase span outside a collection" config_str;
+              let n =
+                Option.value (Hashtbl.find_opt open_spans phase) ~default:0
+              in
+              if enter then Hashtbl.replace open_spans phase (n + 1)
+              else if n = 0 then
+                fail "%s: phase leave without a matching enter" config_str
+              else Hashtbl.replace open_spans phase (n - 1));
+          on_collect_end =
+            (fun ~full_heap:_ ->
+              Hashtbl.iter
+                (fun _ n ->
+                  if n <> 0 then
+                    fail "%s: %d span(s) open at collection end" config_str n)
+                open_spans;
+              in_gc := false;
+              incr collect_ends);
+        }
+      in
+      State.add_hooks st hooks;
+      let ty = Gc.register_type gc ~name:"obs.balance" in
+      let roots = Roots.new_global (Gc.roots gc) Value.null in
+      for i = 1 to 30_000 do
+        let a = Gc.alloc gc ~ty ~nfields:2 in
+        if i mod 96 = 0 then
+          Roots.set_global (Gc.roots gc) roots (Value.of_addr a)
+        else Gc.write gc a 1 (Roots.get_global (Gc.roots gc) roots)
+      done;
+      Gc.full_collect gc;
+      State.remove_hooks st hooks;
+      checkb (config_str ^ ": spans balanced") true (!bad = []);
+      List.iter print_endline !bad;
+      checkb (config_str ^ ": collections observed") true (!collect_ends > 0);
+      checkb (config_str ^ ": no collection left open") false !in_gc)
+    ([ "ss"; "appel"; "25.25.100"; "appel+cards" ] @ exemplars)
+
+(* ---- Metrics reset and stable iteration (satellite) ---- *)
+
+let test_metrics_reset_and_iteration () =
+  let gc, r = traced_run () in
+  let gcs = Gc_stats.gcs (Gc.stats gc) in
+  let m = Recorder.metrics r in
+  let names = Metrics.histogram_names m in
+  checkb "histograms present" true (names <> []);
+  Alcotest.(check (list string))
+    "names are sorted" (List.sort compare names) names;
+  let visited = ref [] in
+  Metrics.iter_histograms m (fun name _ -> visited := name :: !visited);
+  Alcotest.(check (list string))
+    "iteration follows histogram_names" names
+    (List.rev !visited);
+  checki "counters live before reset" gcs (Metrics.counter m "gc.collections");
+  Metrics.reset m;
+  checki "counters cleared" 0 (Metrics.counter m "gc.collections");
+  Alcotest.(check (list string)) "histograms cleared" [] (Metrics.histogram_names m);
+  Metrics.iter_histograms m (fun _ _ -> Alcotest.fail "iterated after reset")
+
 (* ---- Gc_stats edge cases (satellite) ---- *)
 
 let test_empty_stats_summary () =
@@ -253,6 +340,10 @@ let suite =
     ("phase spans", `Quick, test_phase_spans);
     ("ring overflow keeps the pause log", `Quick, test_ring_overflow_keeps_pauses);
     ("detach restores the empty hook list", `Quick, test_detach_restores_zero_cost);
+    ("phase-span balance across configs and policies", `Quick,
+     test_phase_span_balance);
+    ("metrics reset and stable iteration", `Quick,
+     test_metrics_reset_and_iteration);
     ("metrics JSON shape", `Quick, test_metrics_json);
     ("chrome trace shape", `Quick, test_chrome_trace);
     ("mmu of_pauses", `Quick, test_mmu_of_pauses);

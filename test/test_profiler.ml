@@ -1,0 +1,213 @@
+(* The object-demographics profiler, validated differentially against
+   the shadow heap's lifetime oracle. Both observe the same hook
+   stream and the same allocation clock but keep entirely separate
+   books (the profiler re-keys a per-frame side table on every move;
+   the shadow appends to a never-purged move log), so exact agreement
+   on every per-site counter, every age histogram and the full
+   promotion matrix is a strong check on both. Deaths are intentionally
+   not compared: the shadow learns them at diff time, the profiler at
+   frame-free time, and the two granularities differ. *)
+
+module Gc = Beltway.Gc
+module State = Beltway.State
+module Config = Beltway.Config
+module Spec = Beltway_workload.Spec
+module Sanitizer = Beltway_check.Sanitizer
+module Shadow = Beltway_check.Shadow
+module Profiler = Beltway_obs.Profiler
+module Histogram = Beltway_util.Histogram
+module Json = Beltway_util.Json
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let cfg s = Result.get_ok (Config.parse s)
+
+(* Run [bench] with both the shadow sanitizer and the profiler
+   attached (sanitizer first: it must see every allocation the
+   profiler sees). The heap is 4x the benchmark's minimum-heap hint,
+   as in the harness's profiled sweep. *)
+let profiled_run ~config_str bench =
+  let config = cfg config_str in
+  let heap_frames = max 8 (4 * bench.Spec.min_heap_hint_frames) in
+  let gc =
+    Gc.create ~frame_log_words:Beltway_sim.Runner.frame_log_words ~config
+      ~heap_bytes:(heap_frames * Beltway_sim.Runner.frame_bytes) ()
+  in
+  let san = Sanitizer.attach ~level:Sanitizer.Shadow gc in
+  let p = Profiler.attach gc in
+  bench.Spec.run gc;
+  Profiler.detach p;
+  Sanitizer.detach san;
+  checkb "sanitizer clean" true (Sanitizer.ok san);
+  (gc, p, Sanitizer.shadow san)
+
+(* Rebuild every profiler aggregate from the oracle's move log and
+   require exact equality. *)
+let check_against_oracle label gc p shadow =
+  let n = Gc.site_count gc in
+  for s = 0 to n - 1 do
+    let who = Printf.sprintf "%s %s" label (Gc.site_name gc s) in
+    checki (who ^ " alloc objects")
+      (Shadow.site_alloc_objects shadow s)
+      (Profiler.site_alloc_objects p s);
+    checki (who ^ " alloc words")
+      (Shadow.site_alloc_words shadow s)
+      (Profiler.site_alloc_words p s)
+  done;
+  let belts = Profiler.belts p in
+  let top = State.regular_belts (Gc.state gc) - 1 in
+  let copied_objects = Array.make n 0 and copied_words = Array.make n 0 in
+  let top_belt = Array.make n 0 in
+  let hists =
+    Array.init belts (fun _ ->
+        Histogram.create ~bucket_width:Profiler.age_bucket_words ())
+  in
+  let promo = Array.make_matrix belts belts 0 in
+  Array.iter
+    (fun (m : Shadow.move_record) ->
+      copied_objects.(m.m_site) <- copied_objects.(m.m_site) + 1;
+      copied_words.(m.m_site) <- copied_words.(m.m_site) + m.m_words;
+      if m.m_src_belt >= 0 then
+        Histogram.add hists.(m.m_src_belt) (float_of_int m.m_age);
+      if m.m_src_belt >= 0 && m.m_dst_belt >= 0 then begin
+        promo.(m.m_src_belt).(m.m_dst_belt) <-
+          promo.(m.m_src_belt).(m.m_dst_belt) + 1;
+        if m.m_dst_belt = top && m.m_src_belt <> top then
+          top_belt.(m.m_site) <- top_belt.(m.m_site) + 1
+      end)
+    (Shadow.moves shadow);
+  for s = 0 to n - 1 do
+    let who = Printf.sprintf "%s %s" label (Gc.site_name gc s) in
+    checki (who ^ " copied objects") copied_objects.(s)
+      (Profiler.site_copied_objects p s);
+    checki (who ^ " copied words") copied_words.(s)
+      (Profiler.site_copied_words p s);
+    checki (who ^ " top-belt arrivals") top_belt.(s)
+      (Profiler.site_top_belt_objects p s)
+  done;
+  for b = 0 to belts - 1 do
+    let who = Printf.sprintf "%s belt %d" label b in
+    let h = Profiler.age_histogram p ~belt:b in
+    checki (who ^ " age count") (Histogram.count hists.(b)) (Histogram.count h);
+    Alcotest.(check (float 1e-9))
+      (who ^ " age max")
+      (Histogram.max_value hists.(b))
+      (Histogram.max_value h);
+    Alcotest.(check (list (pair (float 1e-9) int)))
+      (who ^ " age buckets")
+      (Histogram.buckets hists.(b))
+      (Histogram.buckets h)
+  done;
+  let pm = Profiler.promotions p in
+  checki (label ^ " promotion matrix size") belts (Array.length pm);
+  for i = 0 to belts - 1 do
+    for j = 0 to belts - 1 do
+      checki
+        (Printf.sprintf "%s promotions %d->%d" label i j)
+        promo.(i).(j) pm.(i).(j)
+    done
+  done
+
+(* ---- the workload differential grid ---- *)
+
+let test_workload_differential () =
+  List.iter
+    (fun config_str ->
+      List.iter
+        (fun bench_name ->
+          let bench = Option.get (Spec.by_name bench_name) in
+          let label = Printf.sprintf "%s/%s" bench_name config_str in
+          let gc, p, shadow = profiled_run ~config_str bench in
+          checkb (label ^ " collected") true (Profiler.collections p > 0);
+          check_against_oracle label gc p shadow)
+        [ "jess"; "db" ])
+    [ "ss"; "appel"; "25.25.100" ]
+
+(* ---- the bytecode-VM differential ---- *)
+
+let test_vm_differential () =
+  let gc = Gc.create ~config:(cfg "appel") ~heap_bytes:(512 * 1024) () in
+  let san = Sanitizer.attach ~level:Sanitizer.Shadow gc in
+  let p = Profiler.attach gc in
+  let vm = Beltlang.Vm.create gc in
+  let prog = Option.get (Beltlang.Programs.by_name "gcbench") in
+  Beltlang.Vm.run_string vm prog.Beltlang.Programs.source;
+  Profiler.detach p;
+  Sanitizer.detach san;
+  checkb "sanitizer clean" true (Sanitizer.ok san);
+  checkb "vm collected" true (Profiler.collections p > 0);
+  check_against_oracle "vm" gc p (Sanitizer.shadow san);
+  (* The compiler labelled the VM's allocating opcodes: sites carry
+     lambda@pc:kind names, and the toplevel frame has its own. *)
+  let names = List.init (Gc.site_count gc) (Gc.site_name gc) in
+  checkb "toplevel frame site" true (List.mem "<toplevel>:frame" names);
+  checkb "bytecode sites labelled" true
+    (List.exists (fun nm -> String.contains nm '@') names);
+  (* Everything the VM allocated is attributed: nothing lands on the
+     "unknown" site once the stamping covers every allocating opcode. *)
+  checki "no unattributed allocations" 0 (Profiler.site_alloc_objects p 0)
+
+(* ---- determinism (the pretenuring hints must be reproducible) ---- *)
+
+let test_determinism () =
+  let bench = Option.get (Spec.by_name "db") in
+  let gc1, p1, _ = profiled_run ~config_str:"25.25.100" bench in
+  let gc2, p2, _ = profiled_run ~config_str:"25.25.100" bench in
+  checki "same site registry" (Gc.site_count gc1) (Gc.site_count gc2);
+  for s = 0 to Gc.site_count gc1 - 1 do
+    Alcotest.(check string) "site name" (Gc.site_name gc1 s) (Gc.site_name gc2 s);
+    checki "alloc objects" (Profiler.site_alloc_objects p1 s)
+      (Profiler.site_alloc_objects p2 s);
+    checki "copied objects" (Profiler.site_copied_objects p1 s)
+      (Profiler.site_copied_objects p2 s);
+    checki "dead objects" (Profiler.site_dead_objects p1 s)
+      (Profiler.site_dead_objects p2 s);
+    checki "top-belt arrivals" (Profiler.site_top_belt_objects p1 s)
+      (Profiler.site_top_belt_objects p2 s)
+  done;
+  Alcotest.(check (list int))
+    "pretenure hints deterministic"
+    (Profiler.pretenure_sites p1) (Profiler.pretenure_sites p2);
+  checki "same collection count" (Profiler.collections p1)
+    (Profiler.collections p2)
+
+(* ---- zero cost when detached ---- *)
+
+let test_detach_restores_zero_cost () =
+  let bench = Option.get (Spec.by_name "db") in
+  let gc, _, _ = profiled_run ~config_str:"appel" bench in
+  checkb "no hooks left installed" true ((Gc.state gc).State.hooks = [])
+
+(* ---- export shape ---- *)
+
+let test_profile_json () =
+  let bench = Option.get (Spec.by_name "db") in
+  let _, p, _ = profiled_run ~config_str:"appel" bench in
+  let j = Profiler.runs_json [ Profiler.run_json ~name:"db" p ] in
+  Alcotest.(check (option string))
+    "schema" (Some Profiler.schema)
+    (Option.bind (Json.member "schema" j) Json.to_str);
+  let runs = Option.get (Option.bind (Json.member "runs" j) Json.to_list) in
+  checki "one run" 1 (List.length runs);
+  let run = List.hd runs in
+  Alcotest.(check (option string))
+    "run name" (Some "db")
+    (Option.bind (Json.member "name" run) Json.to_str);
+  List.iter
+    (fun section ->
+      checkb (section ^ " present") true (Json.member section run <> None))
+    [ "config"; "policy"; "collections"; "sites"; "belts"; "promotions"; "series" ];
+  (* Round-trips through the parser. *)
+  checkb "parses back" true
+    (match Json.of_string (Json.to_string ~indent:true j) with
+    | _ -> true
+    | exception Json.Parse_error _ -> false)
+
+let suite =
+  [
+    ("workload differential vs shadow oracle", `Quick, test_workload_differential);
+    ("bytecode-VM differential vs shadow oracle", `Quick, test_vm_differential);
+    ("demographics are deterministic", `Quick, test_determinism);
+    ("detach restores the empty hook list", `Quick, test_detach_restores_zero_cost);
+    ("profile JSON shape", `Quick, test_profile_json);
+  ]
