@@ -38,8 +38,8 @@ let dump_bytecode source =
       exit 0)
 
 let run config_str heap_kb source_file builtin list_programs show_stats
-    verify_heap sanitize lint_only trace metrics profile gc_domains vm_kind
-    dump =
+    verify_heap sanitize lint_only trace metrics profile strategy gc_domains
+    vm_kind dump =
   (match gc_domains with
   | Some n when n < 1 ->
     Printf.eprintf "error: --gc-domains must be >= 1 (got %d)\n" n;
@@ -52,6 +52,19 @@ let run config_str heap_kb source_file builtin list_programs show_stats
       Beltlang.Programs.all;
     exit 0
   end;
+  if strategy = Some "list" then begin
+    List.iter
+      (fun (i : Beltway.Strategy.info) ->
+        Printf.printf "%-12s %s\n" i.Beltway.Strategy.key
+          i.Beltway.Strategy.summary)
+      Beltway.Strategy.infos;
+    exit 0
+  end;
+  let config_str =
+    match strategy with
+    | Some name -> config_str ^ "+strategy:" ^ name
+    | None -> config_str
+  in
   match Beltway.Config.parse config_str with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
@@ -62,6 +75,23 @@ let run config_str heap_kb source_file builtin list_programs show_stats
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       exit 2);
+    (match Beltway.Strategy.resolve config with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+    | Ok strat -> (
+      let effective_domains =
+        match gc_domains with
+        | Some n -> n
+        | None -> Option.value (Beltway.Gc.env_gc_domains ()) ~default:1
+      in
+      match
+        Beltway.Strategy.check_domains strat ~gc_domains:effective_domains
+      with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2));
     let source =
       match (builtin, source_file) with
       | Some name, _ -> (
@@ -258,6 +288,15 @@ let dump_arg =
   let doc = "Compile to bytecode, print the disassembly and exit." in
   Arg.(value & flag & info [ "dump-bytecode" ] ~doc)
 
+let strategy_arg =
+  let doc =
+    "Select the reclamation strategy from the registry by $(docv) — copying \
+     (default), marksweep or markcompact (shorthand for a +strategy:$(docv) \
+     suffix on the configuration); $(b,--strategy list) prints the registry \
+     and exits."
+  in
+  Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"NAME" ~doc)
+
 let gc_domains_arg =
   let doc =
     "Shard each collection across $(docv) domains (work-stealing parallel \
@@ -273,6 +312,7 @@ let cmd =
     Term.(
       const run $ config_arg $ heap_arg $ file_arg $ builtin_arg $ list_arg
       $ stats_arg $ verify_arg $ sanitize_arg $ lint_arg $ trace_arg
-      $ metrics_arg $ profile_arg $ gc_domains_arg $ vm_arg $ dump_arg)
+      $ metrics_arg $ profile_arg $ strategy_arg $ gc_domains_arg $ vm_arg
+      $ dump_arg)
 
 let () = Cmd.eval cmd |> exit

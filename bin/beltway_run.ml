@@ -28,17 +28,31 @@ let list_policies () =
     Beltway.Policy.registry;
   exit 0
 
+let list_strategies () =
+  List.iter
+    (fun (i : Beltway.Strategy.info) ->
+      Printf.printf "%-12s %s\n%-12s exemplar: %s\n" i.Beltway.Strategy.key
+        i.Beltway.Strategy.summary "" i.Beltway.Strategy.exemplar_config)
+    Beltway.Strategy.infos;
+  exit 0
+
 let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
-    metrics profile policy gc_domains =
+    metrics profile policy strategy gc_domains =
   (match gc_domains with
   | Some n when n < 1 ->
     Printf.eprintf "error: --gc-domains must be >= 1 (got %d)\n" n;
     exit 2
   | _ -> ());
   if policy = Some "list" then list_policies ();
+  if strategy = Some "list" then list_strategies ();
   let config_str =
     match policy with
     | Some name -> config_str ^ "+policy:" ^ name
+    | None -> config_str
+  in
+  let config_str =
+    match strategy with
+    | Some name -> config_str ^ "+strategy:" ^ name
     | None -> config_str
   in
   match Beltway.Config.parse config_str with
@@ -46,13 +60,31 @@ let run config_str bench_name heap_kb verify_heap quiet dump sanitize trace
     Printf.eprintf "error: %s\n" e;
     exit 2
   | Ok config -> (
-    (* Resolve early so an unknown +policy:NAME is a clean CLI error,
-       not an Invalid_argument out of Gc.create. *)
+    (* Resolve early so an unknown +policy:NAME / +strategy:NAME (or a
+       non-parallel strategy asked to shard over domains) is a clean
+       CLI error, not an Invalid_argument out of Gc.create. *)
     (match Beltway.Policy.resolve config with
     | Ok _ -> ()
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       exit 2);
+    (match Beltway.Strategy.resolve config with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+    | Ok strat -> (
+      let effective_domains =
+        match gc_domains with
+        | Some n -> n
+        | None -> Option.value (Beltway.Gc.env_gc_domains ()) ~default:1
+      in
+      match
+        Beltway.Strategy.check_domains strat ~gc_domains:effective_domains
+      with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2));
     match Beltway_workload.Spec.by_name bench_name with
     | None ->
       Printf.eprintf "error: unknown benchmark %S (have: %s)\n" bench_name
@@ -248,6 +280,15 @@ let policy_arg =
   in
   Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"NAME" ~doc)
 
+let strategy_arg =
+  let doc =
+    "Select the reclamation strategy from the registry by $(docv) — copying \
+     (default), marksweep or markcompact (shorthand for a +strategy:$(docv) \
+     suffix on the configuration); $(b,--strategy list) prints the registry \
+     and exits."
+  in
+  Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"NAME" ~doc)
+
 let gc_domains_arg =
   let doc =
     "Shard each collection across $(docv) domains (work-stealing parallel \
@@ -263,6 +304,6 @@ let cmd =
     Term.(
       const run $ config_arg $ bench_arg $ heap_arg $ verify_arg $ quiet_arg
       $ dump_arg $ sanitize_arg $ trace_arg $ metrics_arg $ profile_arg
-      $ policy_arg $ gc_domains_arg)
+      $ policy_arg $ strategy_arg $ gc_domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -8,10 +8,12 @@ type fault =
   | Premature_free
   | Undersized_reserve
   | Racy_forwarding
+  | Dropped_mark
+  | Misthreaded_compact
 
 let all =
   [ Skipped_barrier; Dropped_remset; Corrupted_header; Premature_free;
-    Undersized_reserve; Racy_forwarding ]
+    Undersized_reserve; Racy_forwarding; Dropped_mark; Misthreaded_compact ]
 
 let name = function
   | Skipped_barrier -> "skipped-barrier"
@@ -20,10 +22,13 @@ let name = function
   | Premature_free -> "premature-free"
   | Undersized_reserve -> "undersized-reserve"
   | Racy_forwarding -> "racy-forwarding"
+  | Dropped_mark -> "dropped-mark"
+  | Misthreaded_compact -> "misthreaded-compact"
 
-(* A small generational heap: 25.25.100, 1 KiB frames, 512 KiB. *)
-let setup ~level =
-  let config = Result.get_ok (Beltway.Config.parse "25.25.100") in
+(* A small generational heap: 25.25.100 (optionally with a +strategy
+   suffix for the in-place defect classes), 1 KiB frames, 512 KiB. *)
+let setup ?(config = "25.25.100") ~level () =
+  let config = Result.get_ok (Beltway.Config.parse config) in
   let gc = Gc.create ~frame_log_words:8 ~config ~heap_bytes:(512 * 1024) () in
   let san = Sanitizer.attach ~level gc in
   let ty = Gc.register_type gc ~name:"faults.node" in
@@ -58,7 +63,7 @@ let ( let* ) = Result.bind
    the shadow is told, as it would be in a runtime whose barrier was
    miscompiled) but no remset entry exists. *)
 let skipped_barrier () =
-  let gc, san, ty = setup ~level:Sanitizer.Paranoid in
+  let gc, san, ty = setup ~level:Sanitizer.Paranoid () in
   let a, b, _, _ = old_and_young gc ty in
   let* () = precheck san in
   let st = Gc.state gc in
@@ -71,7 +76,7 @@ let skipped_barrier () =
    real nursery collection run: the slot is never forwarded and ends up
    pointing at the young object's pre-move address. *)
 let dropped_remset () =
-  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let gc, san, ty = setup ~level:Sanitizer.Shadow () in
   let a, b, _, _ = old_and_young gc ty in
   Gc.write gc a 0 (Value.of_addr b);
   (* Pad the nursery past min-useful size so the forced collection
@@ -89,7 +94,7 @@ let dropped_remset () =
   result_of san ~after:"a dropped remset entry and a nursery collection"
 
 let corrupted_header () =
-  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let gc, san, ty = setup ~level:Sanitizer.Shadow () in
   let roots = Gc.roots gc in
   let c = Gc.alloc gc ~ty ~nfields:3 in
   ignore (Roots.new_global roots (Value.of_addr c));
@@ -100,7 +105,7 @@ let corrupted_header () =
   result_of san ~after:"rewriting an object's header word"
 
 let premature_free () =
-  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let gc, san, ty = setup ~level:Sanitizer.Shadow () in
   let roots = Gc.roots gc in
   let d = Gc.alloc gc ~ty ~nfields:3 in
   ignore (Roots.new_global roots (Value.of_addr d));
@@ -113,7 +118,7 @@ let premature_free () =
 (* Understate the frames in use: exactly the accounting slip that lets
    the schedule admit an allocation the copy reserve cannot cover. *)
 let undersized_reserve () =
-  let gc, san, ty = setup ~level:Sanitizer.Paranoid in
+  let gc, san, ty = setup ~level:Sanitizer.Paranoid () in
   let _ = old_and_young gc ty in
   let* () = precheck san in
   let st = Gc.state gc in
@@ -132,7 +137,7 @@ let undersized_reserve () =
    lost install. The shadow still holds the canonical address, so the
    diff must flag the slot. *)
 let racy_forwarding () =
-  let gc, san, ty = setup ~level:Sanitizer.Shadow in
+  let gc, san, ty = setup ~level:Sanitizer.Shadow () in
   let roots = Gc.roots gc in
   let parent = Gc.alloc gc ~ty ~nfields:2 in
   let gp = Roots.new_global roots (Value.of_addr parent) in
@@ -154,6 +159,79 @@ let racy_forwarding () =
   Sanitizer.check_now san;
   result_of san ~after:"a duplicate copy installed by a lost forwarding race"
 
+(* The mark-sweep strategy's defect class: the tracer drops a mark bit
+   on a reachable object, so the sweep coalesces it into a free-list
+   filler. Deterministic end-state emulation (as for
+   [Racy_forwarding]): after a clean in-place collection, overwrite a
+   still-referenced child with exactly the filler the sweep writes over
+   dead runs — an even length header and odd (immediate) payload
+   words — and declare it dead through the sanitizer's own death
+   channel, as the sweep's hook would. The shadow keeps the entry (a
+   live parent edge still names it), so the diff must flag the
+   corpse. *)
+let dropped_mark () =
+  let gc, san, ty =
+    setup ~config:"25.25.100+strategy:marksweep" ~level:Sanitizer.Shadow ()
+  in
+  let roots = Gc.roots gc in
+  let parent = Gc.alloc gc ~ty ~nfields:2 in
+  let gp = Roots.new_global roots (Value.of_addr parent) in
+  let child = Gc.alloc gc ~ty ~nfields:2 in
+  Gc.write gc (Value.to_addr (Roots.get_global roots gp)) 0 (Value.of_addr child);
+  (* A back pointer, so the corpse's payload held a reference the
+     filler visibly destroys. *)
+  let child_now () = Value.to_addr (Gc.read gc parent 0) in
+  Gc.write gc child 0 (Value.of_addr parent);
+  (* Garbage, then a real mark-sweep collection: the precheck below
+     proves the strategy itself produces no false positives. *)
+  for _ = 1 to 200 do
+    ignore (Gc.alloc gc ~ty ~nfields:4)
+  done;
+  Gc.full_collect gc;
+  let* () = precheck san in
+  let st = Gc.state gc in
+  let mem = st.State.mem in
+  let child = child_now () in
+  let size = Object_model.size_words ~nfields:2 in
+  Memory.set mem child ((size - Object_model.header_words) lsl 1);
+  Memory.fill mem ~dst:(child + 1) ~len:(size - 1) 1;
+  Shadow.note_object_dead (Sanitizer.shadow san) ~addr:child;
+  Sanitizer.check_now san;
+  result_of san ~after:"a reachable object swept under a dropped mark bit"
+
+(* The mark-compact strategy's defect class: Jonkers unthreading
+   restores a threaded slot with the wrong destination address (an
+   off-by-one-object slip in the slide bookkeeping). Deterministic
+   end-state emulation: run a real threaded compaction (garbage ahead
+   of the survivors forces a slide), then redirect a parent slot to
+   the address one object past its child, behind the hooks' back. The
+   shadow tracked the real slide, so the diff must flag the slot. *)
+let misthreaded_compact () =
+  let gc, san, ty =
+    setup ~config:"25.25.100+strategy:markcompact" ~level:Sanitizer.Shadow ()
+  in
+  let roots = Gc.roots gc in
+  (* Garbage first: compaction slides the survivors down over it. *)
+  for _ = 1 to 200 do
+    ignore (Gc.alloc gc ~ty ~nfields:4)
+  done;
+  let parent = Gc.alloc gc ~ty ~nfields:2 in
+  let gp = Roots.new_global roots (Value.of_addr parent) in
+  let child = Gc.alloc gc ~ty ~nfields:2 in
+  Gc.write gc (Value.to_addr (Roots.get_global roots gp)) 0 (Value.of_addr child);
+  Gc.full_collect gc;
+  let* () = precheck san in
+  let st = Gc.state gc in
+  let mem = st.State.mem in
+  let parent = Value.to_addr (Roots.get_global roots gp) in
+  let child = Value.to_addr (Gc.read gc parent 0) in
+  let size = Object_model.size_words ~nfields:2 in
+  Memory.set mem
+    (Object_model.field_addr parent 0)
+    (Value.of_addr (child + size));
+  Sanitizer.check_now san;
+  result_of san ~after:"a slot unthreaded to the wrong compaction address"
+
 let inject = function
   | Skipped_barrier -> skipped_barrier ()
   | Dropped_remset -> dropped_remset ()
@@ -161,3 +239,5 @@ let inject = function
   | Premature_free -> premature_free ()
   | Undersized_reserve -> undersized_reserve ()
   | Racy_forwarding -> racy_forwarding ()
+  | Dropped_mark -> dropped_mark ()
+  | Misthreaded_compact -> misthreaded_compact ()

@@ -32,6 +32,19 @@ type fault =
           to evacuate one object both keep their copies and a slot
           ends up on the losing duplicate — caught by the shadow diff
           as a stale reference (the shadow holds the winner) *)
+  | Dropped_mark
+      (** the mark-sweep strategy's defect class: the tracer drops a
+          mark bit on a reachable object and the sweep turns it into a
+          free-list filler — caught by the shadow diff as a clobbered
+          corpse (a live parent edge still names the entry, whose TIB
+          and fields the filler overwrote) *)
+  | Misthreaded_compact
+      (** the mark-compact strategy's defect class: Jonkers
+          unthreading restores a threaded slot with the wrong
+          destination address, so after the slide a parent field
+          points one object past its child — caught by the shadow
+          diff as a stale reference (the shadow tracked the real
+          slide) *)
 
 val all : fault list
 val name : fault -> string

@@ -69,6 +69,8 @@ let attach ?level gc =
             Shadow.note_write t.shadow ~obj ~field ~value ~violation:(record t));
         on_move =
           (fun ~src ~dst -> Shadow.note_move t.shadow ~src ~dst ~violation:(record t));
+        on_object_dead =
+          (fun ~addr ~words:_ -> Shadow.note_object_dead t.shadow ~addr);
         on_collect_end =
           (fun ~full_heap:_ ->
             t.collections <- t.collections + 1;

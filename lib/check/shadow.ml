@@ -169,6 +169,20 @@ let note_move t ~src ~dst ~violation =
     e.addr <- dst;
     Hashtbl.replace t.by_addr dst e
 
+(* An in-place strategy reclaimed the object at [addr]: its words are
+   about to become a free-list filler or be slid over, so the address
+   must stop keying the entry before the collector reuses it (a
+   compaction slide lands within the same collection, long before
+   [diff]'s purge). The id entry deliberately STAYS: if the collector
+   wrongly reclaimed a reachable object, some surviving shadow edge
+   still names this id, [diff] walks it, and validation of the stale
+   address reports the corruption — reclaiming a live object must be
+   flagged, not silently forgotten. *)
+let note_object_dead t ~addr =
+  match Hashtbl.find_opt t.by_addr addr with
+  | Some e when e.addr = addr -> Hashtbl.remove t.by_addr addr
+  | _ -> ()
+
 (* Validate one shadow-reachable entry against real memory. Every check
    reads through the checked [Memory.get]-family accessors, so a
    corrupt heap traps into [Invalid_argument] instead of reading wild —

@@ -41,6 +41,13 @@ val note_write :
   t -> obj:Addr.t -> field:int -> value:Value.t -> violation:(string -> unit) -> unit
 val note_move : t -> src:Addr.t -> dst:Addr.t -> violation:(string -> unit) -> unit
 
+val note_object_dead : t -> addr:Addr.t -> unit
+(** An in-place strategy reclaimed the object at [addr]: the address
+    stops keying its entry (the words may be reused within the same
+    collection), but the entry itself survives until {!diff}'s purge —
+    so wrongly reclaiming a reachable object is still caught by
+    validation through the surviving shadow edges. *)
+
 (** {2 Differential check} *)
 
 val diff : t -> violation:(string -> unit) -> unit

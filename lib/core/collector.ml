@@ -342,6 +342,10 @@ let collect_seq st plan =
       scanned_slots = !scanned_slots;
       remset_slots = !remset_slots;
       roots_scanned = !roots_scanned;
+      marked_objects = 0;
+      marked_words = 0;
+      swept_words = 0;
+      moved_words = 0;
       freed_frames;
       heap_frames_after = st.State.frames_used;
       reserve_frames = Copy_reserve.frames st;
@@ -926,6 +930,10 @@ let collect_par st plan =
       scanned_slots = !scanned_slots;
       remset_slots = !remset_slots;
       roots_scanned = !roots_scanned;
+      marked_objects = 0;
+      marked_words = 0;
+      swept_words = 0;
+      moved_words = 0;
       freed_frames;
       heap_frames_after = st.State.frames_used;
       reserve_frames = Copy_reserve.frames st;
@@ -969,5 +977,741 @@ let collect_par st plan =
       hs);
   record
 
+(* ------------------------------------------------------------------ *)
+(* The in-place strategies: bitmap mark-sweep and threaded (Jonkers)
+   mark-compact. One driver handles both; [compact] selects whether
+   the reclaim phase rebuilds free lists in place or slides survivors
+   to the front of their own increments.
+
+   Shape of a collection:
+
+   - the plan's non-pinned increments are *logically promoted first*:
+     moved to their destination belts and restamped (every frame
+     restamped to match) before any tracing. Tracing then runs
+     entirely under the final stamps, so re-applying the write
+     barrier's predicate while marking records exactly the right
+     remembered slots — the property the copying drain gets from
+     allocating survivors into new-stamped destination frames.
+     Restamping only ever raises a target's stamp, so pre-existing
+     remembered entries can become superfluous but never
+     insufficient; and a pointer from outside the plan into a
+     promoted increment needs no new entry, because downward closure
+     puts any older source increment into every future plan that
+     contains the now-younger-stamped target.
+
+   - marking: roots, then remembered slots / dirty cards, then an
+     explicit mark-stack drain over the side bitmap (one bit per heap
+     word, held by the memory substrate; only the plan's frames are
+     cleared, and marks are only ever read behind an in-plan test).
+     Pinned (LOS) increments in the plan are marked through the same
+     bitmap on their base object.
+
+   - reclaim: the sweep coalesces each increment's dead runs into
+     free-list fillers frame by frame, freeing frames with no
+     survivor; the compactor threads references (Jonkers' scheme, as
+     in motoko-rts) and slides survivors to the front of the
+     increment's own frames in two passes, freeing the vacated tail.
+
+   Neither strategy needs a copy reserve ([Strategy] reserves zero
+   frames), which is exactly the trade the strategies experiment
+   measures against the copying collector's per-object work. *)
+let collect_mark st plan ~compact =
+  let mem = st.State.mem in
+  let ftab = st.State.ftab in
+  let frame_log = Memory.frame_log mem in
+  let frame_words = Memory.frame_words mem in
+  st.State.in_gc <- true;
+  (match st.State.hooks with
+  | [] -> ()
+  | hs ->
+    List.iter
+      (fun h ->
+        h.State.on_collect_start ~reason:plan.reason ~emergency:plan.emergency)
+      hs);
+  let phase p enter =
+    match st.State.hooks with
+    | [] -> ()
+    | hs -> List.iter (fun h -> h.State.on_gc_phase ~phase:p ~enter) hs
+  in
+  let hook_object_dead ~addr ~words =
+    match st.State.hooks with
+    | [] -> ()
+    | hs -> List.iter (fun h -> h.State.on_object_dead ~addr ~words) hs
+  in
+  let marked_objects = ref 0 in
+  let marked_words = ref 0 in
+  let swept_words = ref 0 in
+  let moved_words = ref 0 in
+  let scanned_slots = ref 0 in
+  let remset_slots = ref 0 in
+  let roots_scanned = ref 0 in
+  let freed_frames = ref 0 in
+
+  (* Plan totals up front: unlike the copying drain, the reclaim phase
+     below rewrites the plan increments' own occupancy. *)
+  let pf = plan_frames plan in
+  let pw = plan_words plan in
+  let pi = List.length plan.increments in
+
+  (* Plan membership bits, as in the copying drain. *)
+  List.iter
+    (fun (inc : Increment.t) ->
+      inc.Increment.in_plan <- true;
+      Increment.seal inc;
+      Vec.iter
+        (fun f -> Frame_table.set_in_plan ftab ~frame:f true)
+        inc.Increment.frames)
+    plan.increments;
+
+  (* Logical promotion: survivors keep their frames, so promotion is a
+     belt/stamp relabelling instead of a copy. Each increment takes a
+     fresh stamp, so pushing it to the back of its destination belt
+     preserves the belts' stamp-FIFO ordering whatever the plan order.
+     Pinned increments keep their place, exactly as under copying.
+     (The increment also keeps its original belt's [bound_frames] —
+     the bound travels with the increment, not the belt.) *)
+  List.iter
+    (fun (inc : Increment.t) ->
+      if not inc.Increment.pinned then begin
+        let dest = State.dest_belt st inc.Increment.belt in
+        Belt.remove st.State.belts.(inc.Increment.belt) inc;
+        inc.Increment.belt <- dest;
+        inc.Increment.stamp <- State.stamp_for_belt st dest;
+        Belt.push_back st.State.belts.(dest) inc;
+        Vec.iter
+          (fun f -> Frame_table.restamp ftab ~frame:f ~stamp:inc.Increment.stamp)
+          inc.Increment.frames
+      end)
+    plan.increments;
+
+  (* Side mark bitmap over the plan's frames, plus the explicit mark
+     stack. Marks outside the plan may be stale from an earlier
+     collection; they are never read. *)
+  Memory.ensure_marks mem;
+  List.iter
+    (fun (inc : Increment.t) ->
+      Vec.iter (fun f -> Memory.clear_marks_frame mem f) inc.Increment.frames)
+    plan.increments;
+  let stack = st.State.gc_mark_stack in
+  Vec.clear stack;
+
+  (* Grey an object: mark bit, statistics, stack push. Pinned objects
+     are marked through the same bitmap on their base address, so
+     retention at reclaim is one bitmap test either way. *)
+  let trace v =
+    if Value.is_ref v then begin
+      let addr = Value.to_addr v in
+      if
+        Frame_table.meta_in_plan (Frame_table.meta ftab (addr lsr frame_log))
+        && not (Memory.marked mem addr)
+      then begin
+        Memory.set_mark mem addr;
+        incr marked_objects;
+        marked_words :=
+          !marked_words + (Memory.unsafe_get mem addr lsr 1)
+          + Object_model.header_words;
+        Vec.push stack addr
+      end
+    end
+  in
+
+  let use_cards = st.State.policy.State.barrier = State.Barrier_cards in
+  let re_remember ~slot ~src ~tgt =
+    Write_barrier.re_remember st ~use_cards ~slot ~src_frame:src ~tgt_frame:tgt
+  in
+
+  (* External referrer slots, collected during the remset/card phases.
+     The compactor must come back to them after the slide — both to
+     thread them (so they learn the new addresses) and to re-record
+     them (their old remset entries are keyed by target frame, and a
+     vacated target frame drops its entries). Deduplicated: threading
+     one slot twice would tie its chain into a cycle. The sweep needs
+     none of this and leaves the vector empty. *)
+  let ext_slots : int Vec.t = Vec.create ~dummy:0 () in
+  let ext_seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let note_ext slot =
+    if compact && not (Hashtbl.mem ext_seen slot) then begin
+      Hashtbl.replace ext_seen slot ();
+      Vec.push ext_slots slot
+    end
+  in
+
+  (* Roots. Nothing moves during marking, so this pass only traces;
+     the compactor rewrites root slots after the slide. *)
+  phase Gc_stats.Phase_roots true;
+  Roots.iter_update st.State.roots (fun v ->
+      incr roots_scanned;
+      trace v;
+      v);
+  phase Gc_stats.Phase_roots false;
+
+  (match st.State.policy.State.barrier with
+  | State.Barrier_remsets _ ->
+    phase Gc_stats.Phase_remset true;
+    (* Remembered slots targeting the plan from outside it. Snapshot
+       first: marking inserts remset entries (mark-sweep re-records
+       during the drain) and the table must not be mutated
+       mid-iteration. *)
+    let pending_slots = st.State.gc_slots in
+    Vec.clear pending_slots;
+    Remset.iter_into st.State.remsets
+      ~in_plan:(fun f -> Frame_table.in_plan ftab f)
+      (fun ~slot -> Vec.push pending_slots slot);
+    for k = 0 to Vec.length pending_slots - 1 do
+      let slot = Vec.get pending_slots k in
+      incr remset_slots;
+      let v = Memory.get mem slot in
+      if Value.is_ref v then begin
+        trace v;
+        note_ext slot
+      end
+    done;
+    Vec.clear pending_slots;
+    phase Gc_stats.Phase_remset false
+  | State.Barrier_cards ->
+    phase Gc_stats.Phase_cards true;
+    (* Dirty-frame scanning, as in the copying drain: cards are cleared
+       first and re-marked for slots that still hold interesting
+       pointers — immediately for slots whose target stays put, after
+       the slide for slots into compacting increments. *)
+    let incs_to_scan = Hashtbl.create 16 in
+    Card_table.iter_dirty st.State.cards (fun frame ->
+        if not (Frame_table.in_plan ftab frame) then begin
+          Card_table.clear st.State.cards ~frame;
+          match State.inc_of_frame st frame with
+          | Some inc -> Hashtbl.replace incs_to_scan inc.Increment.id inc
+          | None -> ()
+        end);
+    Hashtbl.iter
+      (fun _ (inc : Increment.t) ->
+        Increment.iter_objects inc mem (fun obj ->
+            let n = Memory.unsafe_get mem obj lsr 1 in
+            for slot = obj + 1 to obj + 1 + n do
+              let v = Memory.unsafe_get mem slot in
+              if Value.is_ref v then begin
+                incr remset_slots;
+                trace v;
+                let tf = Value.to_addr v lsr frame_log in
+                let tm = Frame_table.meta ftab tf in
+                if
+                  compact
+                  && Frame_table.meta_in_plan tm
+                  && not (Frame_table.meta_pinned tm)
+                then note_ext slot
+                else re_remember ~slot ~src:(slot lsr frame_log) ~tgt:tf
+              end
+            done))
+      incs_to_scan;
+    phase Gc_stats.Phase_cards false);
+
+  (* Mark drain. Under the sweep, surviving slots re-apply the barrier
+     predicate here, under the (final) promoted stamps — the in-place
+     analogue of the copying scan's re-recording. The compactor defers
+     it to after the slide: both the slots and their targets move. *)
+  phase Gc_stats.Phase_mark true;
+  while not (Vec.is_empty stack) do
+    let obj = Vec.pop stack in
+    let n = Memory.unsafe_get mem obj lsr 1 in
+    for slot = obj + 1 to obj + 1 + n do
+      let v = Memory.unsafe_get mem slot in
+      if Value.is_ref v then begin
+        incr scanned_slots;
+        trace v;
+        if not compact then
+          re_remember ~slot ~src:(slot lsr frame_log)
+            ~tgt:(Value.to_addr v lsr frame_log)
+      end
+    done
+  done;
+  phase Gc_stats.Phase_mark false;
+
+  (* Free one frame of a surviving increment (wholly dead, or vacated
+     by the slide): the same per-frame bookkeeping [State.free_increment]
+     does, minus the increment-level teardown. *)
+  let free_frame_now (inc : Increment.t) frame =
+    Remset.drop_frame st.State.remsets frame;
+    Card_table.clear st.State.cards ~frame;
+    Frame_table.clear ftab ~frame;
+    Memory.free_frame mem frame;
+    st.State.frames_used <- st.State.frames_used - 1;
+    incr freed_frames;
+    match st.State.hooks with
+    | [] -> ()
+    | hs ->
+      List.iter (fun h -> h.State.on_frame_free ~frame ~belt:inc.Increment.belt) hs
+  in
+  (* Pinned increments are retained in place when their object was
+     reached, released otherwise — the same either way; the compactor
+     additionally re-records the retained object's slots once every
+     target has its final address ([rescan]). *)
+  let finish_pinned ~rescan (inc : Increment.t) =
+    if Memory.marked mem (Increment.base_object inc mem) then begin
+      if rescan then begin
+        let obj = Increment.base_object inc mem in
+        let n = Memory.unsafe_get mem obj lsr 1 in
+        for slot = obj + 1 to obj + 1 + n do
+          let v = Memory.unsafe_get mem slot in
+          if Value.is_ref v then
+            re_remember ~slot ~src:(slot lsr frame_log)
+              ~tgt:(Value.to_addr v lsr frame_log)
+        done
+      end;
+      inc.Increment.in_plan <- false;
+      Vec.iter
+        (fun f -> Frame_table.set_in_plan ftab ~frame:f false)
+        inc.Increment.frames
+    end
+    else begin
+      freed_frames := !freed_frames + Increment.occupancy_frames inc;
+      State.free_increment st inc
+    end
+  in
+
+  if not compact then begin
+    (* Sweep: rebuild each increment in place. Adjacent dead objects
+       coalesce into one filler per run — an even header and odd
+       (immediate) payload words, so object walks parse it and slot
+       walks skip it — pushed onto the increment's free list. Frames
+       with no survivor are returned individually, and the increment
+       is unsealed so the mutator can bump its tail and refill its
+       holes. *)
+    phase Gc_stats.Phase_sweep true;
+    List.iter
+      (fun (inc : Increment.t) ->
+        if inc.Increment.pinned then finish_pinned ~rescan:false inc
+        else begin
+          let nframes = Increment.frame_count inc in
+          (* Survival per frame, decided before any rebuilding. *)
+          let keep = Array.make (max nframes 1) false in
+          let any_live = ref false in
+          for fi = 0 to nframes - 1 do
+            let base = Memory.frame_base mem (Vec.get inc.Increment.frames fi) in
+            let extent = base + Increment.used_of_frame inc mem fi in
+            let a = ref base in
+            while !a < extent do
+              if Memory.marked mem !a then begin
+                keep.(fi) <- true;
+                any_live := true
+              end;
+              a := !a + (Memory.unsafe_get mem !a lsr 1) + Object_model.header_words
+            done
+          done;
+          if not !any_live then begin
+            freed_frames := !freed_frames + Increment.occupancy_frames inc;
+            State.free_increment st inc
+          end
+          else begin
+            Increment.clear_free_list inc;
+            let kept_frames = Vec.create ~dummy:0 () in
+            let kept_used = Vec.create ~dummy:0 () in
+            let live = ref 0 in
+            let fillers = ref 0 in
+            for fi = 0 to nframes - 1 do
+              let frame = Vec.get inc.Increment.frames fi in
+              if not keep.(fi) then free_frame_now inc frame
+              else begin
+                let used = Increment.used_of_frame inc mem fi in
+                let base = Memory.frame_base mem frame in
+                let extent = base + used in
+                let run_start = ref Addr.null in
+                let flush upto =
+                  if !run_start <> Addr.null then begin
+                    let k = upto - !run_start in
+                    Memory.unsafe_set mem !run_start
+                      ((k - Object_model.header_words) lsl 1);
+                    Memory.fill mem ~dst:(!run_start + 1) ~len:(k - 1) 1;
+                    Increment.push_free inc ~addr:!run_start ~words:k;
+                    incr fillers;
+                    run_start := Addr.null
+                  end
+                in
+                let a = ref base in
+                while !a < extent do
+                  let size =
+                    (Memory.unsafe_get mem !a lsr 1) + Object_model.header_words
+                  in
+                  if Memory.marked mem !a then begin
+                    incr live;
+                    flush !a
+                  end
+                  else begin
+                    if !run_start = Addr.null then run_start := !a;
+                    swept_words := !swept_words + size;
+                    (* Dead in a surviving frame: reported here. Dead
+                       objects in a freed frame die with the frame
+                       ([on_frame_free]), never both. *)
+                    hook_object_dead ~addr:!a ~words:size
+                  end;
+                  a := !a + size
+                done;
+                flush extent;
+                Vec.push kept_frames frame;
+                Vec.push kept_used used
+              end
+            done;
+            (* Rebuild over the surviving frames: the last reopens
+               under the bump cursor (its tail words are still zeroed —
+               bump allocation never reached them), the others keep
+               their recorded extents. *)
+            Vec.clear inc.Increment.frames;
+            Vec.clear inc.Increment.frame_used;
+            let m = Vec.length kept_frames in
+            let words = ref 0 in
+            for i = 0 to m - 1 do
+              Vec.push inc.Increment.frames (Vec.get kept_frames i);
+              words := !words + Vec.get kept_used i;
+              if i < m - 1 then
+                Vec.push inc.Increment.frame_used (Vec.get kept_used i)
+            done;
+            let last_base = Memory.frame_base mem (Vec.get kept_frames (m - 1)) in
+            inc.Increment.cursor <- last_base + Vec.get kept_used (m - 1);
+            inc.Increment.limit <- last_base + frame_words;
+            inc.Increment.words_used <- !words;
+            inc.Increment.objects <- !live + !fillers;
+            inc.Increment.sealed <- false;
+            inc.Increment.in_plan <- false;
+            Vec.iter
+              (fun f -> Frame_table.set_in_plan ftab ~frame:f false)
+              inc.Increment.frames
+          end
+        end)
+      plan.increments;
+    phase Gc_stats.Phase_sweep false
+  end
+  else begin
+    (* Threaded compaction (Jonkers): every reference to a moving
+       object is threaded into a chain hanging off the target's
+       header; two passes over the compacting increments in one fixed
+       total order (plan order, stream order within an increment)
+       first compute destination addresses and unthread the already
+       recorded referrers, then slide the objects and unthread the
+       rest. Both passes recompute the same destination cursor — the
+       survivors packed into the increment's own frames in order,
+       advancing at a frame seam exactly when the object would not
+       fit the remainder. The original packing obeyed the same rule,
+       so within any frame the destination never overtakes the
+       source and [Memory.blit]'s forward copy is safe; across
+       frames, source and destination never alias. *)
+    phase Gc_stats.Phase_compact true;
+
+    (* Fields of retained pinned objects point into compacting
+       increments by address; collect them with the external slots
+       (deduplicated) so they are threaded and re-recorded too. *)
+    List.iter
+      (fun (inc : Increment.t) ->
+        if
+          inc.Increment.pinned
+          && Memory.marked mem (Increment.base_object inc mem)
+        then begin
+          let obj = Increment.base_object inc mem in
+          let n = Memory.unsafe_get mem obj lsr 1 in
+          for slot = obj + 1 to obj + 1 + n do
+            if Value.is_ref (Memory.unsafe_get mem slot) then note_ext slot
+          done
+        end)
+      plan.increments;
+    (* Thread the external slots. Every slot's target was traced with
+       this same value, so a slot pointing at a moving (in-plan,
+       non-pinned) object always points at a live one. This must
+       happen only now: the drain above reads these very slots, and a
+       threaded slot holds a chain link, not a value. *)
+    let thread_slot slot =
+      let v = Memory.get mem slot in
+      if Value.is_ref v then begin
+        let tgt = Value.to_addr v in
+        let tm = Frame_table.meta ftab (tgt lsr frame_log) in
+        if Frame_table.meta_in_plan tm && not (Frame_table.meta_pinned tm)
+        then begin
+          Memory.set mem slot (Memory.unsafe_get mem tgt);
+          Memory.unsafe_set mem tgt ((slot lsl 1) lor 1)
+        end
+      end
+    in
+    Vec.iter thread_slot ext_slots;
+
+    let compacting =
+      List.filter
+        (fun (i : Increment.t) -> not i.Increment.pinned)
+        plan.increments
+    in
+    (* Chain-walk to the terminal (even) header word without
+       unthreading: an object's size is needed to place it before its
+       referrers can learn the new address. *)
+    let threaded_header obj =
+      let w = ref (Memory.unsafe_get mem obj) in
+      while !w land 1 = 1 do
+        w := Memory.unsafe_get mem (!w lsr 1)
+      done;
+      !w
+    in
+    (* Relocation table for the root slots, which live outside the
+       simulated heap and cannot be threaded — the one deviation from
+       pure threading. Only movers are recorded. *)
+    let old_new : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    (* Destination frame count per increment, decided by pass one. *)
+    let live_frames : (int, int) Hashtbl.t = Hashtbl.create 16 in
+
+    (* Pass one. *)
+    List.iter
+      (fun (inc : Increment.t) ->
+        let nframes = Increment.frame_count inc in
+        let dfi = ref 0 in
+        let daddr = ref Addr.null in
+        let dlimit = ref Addr.null in
+        if nframes > 0 then begin
+          daddr := Memory.frame_base mem (Vec.get inc.Increment.frames 0);
+          dlimit := !daddr + frame_words
+        end;
+        let any = ref false in
+        for fi = 0 to nframes - 1 do
+          let base = Memory.frame_base mem (Vec.get inc.Increment.frames fi) in
+          let extent = base + Increment.used_of_frame inc mem fi in
+          let a = ref base in
+          while !a < extent do
+            if Memory.marked mem !a then begin
+              any := true;
+              let h = threaded_header !a in
+              let size = (h lsr 1) + Object_model.header_words in
+              if !daddr + size > !dlimit then begin
+                incr dfi;
+                daddr := Memory.frame_base mem (Vec.get inc.Increment.frames !dfi);
+                dlimit := !daddr + frame_words
+              end;
+              let dst = !daddr in
+              daddr := dst + size;
+              if dst <> !a then Hashtbl.replace old_new !a dst;
+              (* Unthread: referrers recorded so far (external slots,
+                 and fields of objects earlier in the order) learn the
+                 new address; the original header comes back. *)
+              let w = ref (Memory.unsafe_get mem !a) in
+              while !w land 1 = 1 do
+                let s = !w lsr 1 in
+                w := Memory.unsafe_get mem s;
+                Memory.unsafe_set mem s (Value.of_addr dst)
+              done;
+              Memory.unsafe_set mem !a !w;
+              (* Thread this object's own references to movers (a
+                 self-reference threads into this object's own chain
+                 and resolves in pass two, before the slide). *)
+              let n = !w lsr 1 in
+              for slot = !a + 1 to !a + 1 + n do
+                let v = Memory.unsafe_get mem slot in
+                if Value.is_ref v then begin
+                  let tgt = Value.to_addr v in
+                  let tm = Frame_table.meta ftab (tgt lsr frame_log) in
+                  if Frame_table.meta_in_plan tm && not (Frame_table.meta_pinned tm)
+                  then begin
+                    Memory.unsafe_set mem slot (Memory.unsafe_get mem tgt);
+                    Memory.unsafe_set mem tgt ((slot lsl 1) lor 1)
+                  end
+                end
+              done;
+              a := !a + size
+            end
+            else
+              a :=
+                !a + (Memory.unsafe_get mem !a lsr 1) + Object_model.header_words
+          done
+        done;
+        Hashtbl.replace live_frames inc.Increment.id (if !any then !dfi + 1 else 0))
+      compacting;
+
+    (* Pass two: the same walk and the same destination computation;
+       unthread the remaining referrers (slots of objects later in the
+       order — not yet moved — or of this object itself), restore the
+       header, slide, and rebuild the increment over its survivor
+       prefix. Finishing each increment here is sound: all of its
+       slots already hold final values (forward references were
+       resolved by pass one, which ran to completion everywhere). *)
+    List.iter
+      (fun (inc : Increment.t) ->
+        let m = Hashtbl.find live_frames inc.Increment.id in
+        if m = 0 then begin
+          freed_frames := !freed_frames + Increment.occupancy_frames inc;
+          State.free_increment st inc
+        end
+        else begin
+          let nframes = Increment.frame_count inc in
+          let dfi = ref 0 in
+          let daddr = ref (Memory.frame_base mem (Vec.get inc.Increment.frames 0)) in
+          let dlimit = ref (!daddr + frame_words) in
+          let extents = Vec.create ~dummy:0 () in
+          let live = ref 0 in
+          for fi = 0 to nframes - 1 do
+            let base = Memory.frame_base mem (Vec.get inc.Increment.frames fi) in
+            let extent = base + Increment.used_of_frame inc mem fi in
+            let a = ref base in
+            while !a < extent do
+              if Memory.marked mem !a then begin
+                let h = threaded_header !a in
+                let size = (h lsr 1) + Object_model.header_words in
+                if !daddr + size > !dlimit then begin
+                  Vec.push extents
+                    (!daddr
+                    - Memory.frame_base mem (Vec.get inc.Increment.frames !dfi));
+                  incr dfi;
+                  daddr := Memory.frame_base mem (Vec.get inc.Increment.frames !dfi);
+                  dlimit := !daddr + frame_words
+                end;
+                let dst = !daddr in
+                daddr := dst + size;
+                let w = ref (Memory.unsafe_get mem !a) in
+                while !w land 1 = 1 do
+                  let s = !w lsr 1 in
+                  w := Memory.unsafe_get mem s;
+                  Memory.unsafe_set mem s (Value.of_addr dst)
+                done;
+                Memory.unsafe_set mem !a !w;
+                incr live;
+                if dst <> !a then begin
+                  Memory.blit mem ~src:!a ~dst ~len:size;
+                  moved_words := !moved_words + size;
+                  match st.State.hooks with
+                  | [] -> ()
+                  | hs -> List.iter (fun h -> h.State.on_move ~src:!a ~dst) hs
+                end;
+                a := !a + size
+              end
+              else begin
+                let size =
+                  (Memory.unsafe_get mem !a lsr 1) + Object_model.header_words
+                in
+                if fi < m then begin
+                  (* Dying inside a surviving frame: reported here. A
+                     dead object in a vacated frame dies with the
+                     frame ([on_frame_free]), never both. *)
+                  swept_words := !swept_words + size;
+                  hook_object_dead ~addr:!a ~words:size
+                end;
+                a := !a + size
+              end
+            done
+          done;
+          Vec.push extents
+            (!daddr - Memory.frame_base mem (Vec.get inc.Increment.frames !dfi));
+          (* Free the vacated tail, rebuild the survivor prefix. *)
+          for fi = nframes - 1 downto m do
+            free_frame_now inc (Vec.get inc.Increment.frames fi)
+          done;
+          Vec.truncate inc.Increment.frames m;
+          Vec.clear inc.Increment.frame_used;
+          let words = ref 0 in
+          for i = 0 to m - 1 do
+            let u = Vec.get extents i in
+            words := !words + u;
+            if i < m - 1 then Vec.push inc.Increment.frame_used u
+          done;
+          inc.Increment.cursor <- !daddr;
+          inc.Increment.limit <-
+            Memory.frame_base mem (Vec.get inc.Increment.frames (m - 1))
+            + frame_words;
+          (* The slide leaves stale object images under the reopened
+             bump tail; allocation assumes zeroed words. *)
+          if inc.Increment.limit > inc.Increment.cursor then
+            Memory.fill mem ~dst:inc.Increment.cursor
+              ~len:(inc.Increment.limit - inc.Increment.cursor)
+              0;
+          inc.Increment.words_used <- !words;
+          inc.Increment.objects <- !live;
+          Increment.clear_free_list inc;
+          inc.Increment.sealed <- false;
+          inc.Increment.in_plan <- false;
+          Vec.iter
+            (fun f -> Frame_table.set_in_plan ftab ~frame:f false)
+            inc.Increment.frames;
+          (* Re-apply the barrier predicate over the compacted stream
+             (the in-place analogue of the copying scan's
+             re-recording): every slot here is final. *)
+          for i = 0 to m - 1 do
+            let base = Memory.frame_base mem (Vec.get inc.Increment.frames i) in
+            let extent = base + Vec.get extents i in
+            let a = ref base in
+            while !a < extent do
+              let n = Memory.unsafe_get mem !a lsr 1 in
+              for slot = !a + 1 to !a + 1 + n do
+                let v = Memory.unsafe_get mem slot in
+                if Value.is_ref v then
+                  re_remember ~slot ~src:(slot lsr frame_log)
+                    ~tgt:(Value.to_addr v lsr frame_log)
+              done;
+              a := !a + n + Object_model.header_words
+            done
+          done
+        end)
+      compacting;
+
+    (* Retained pinned objects: clear plan state and re-record their
+       (now final) slots. *)
+    List.iter
+      (fun (inc : Increment.t) ->
+        if inc.Increment.pinned then finish_pinned ~rescan:true inc)
+      plan.increments;
+
+    (* Root slots, from the relocation table. *)
+    Roots.iter_update st.State.roots (fun v ->
+        if Value.is_ref v then (
+          match Hashtbl.find_opt old_new (Value.to_addr v) with
+          | Some dst -> Value.of_addr dst
+          | None -> v)
+        else v);
+
+    (* External referrer slots: re-record under the final target
+       frames. An entry keyed by a vacated target frame was dropped
+       with that frame; this re-insertion is what preserves it. *)
+    Vec.iter
+      (fun slot ->
+        let v = Memory.get mem slot in
+        if Value.is_ref v then
+          re_remember ~slot ~src:(slot lsr frame_log)
+            ~tgt:(Value.to_addr v lsr frame_log))
+      ext_slots;
+    phase Gc_stats.Phase_compact false
+  end;
+
+  st.State.in_gc <- false;
+  if plan.full_heap then st.State.live_est_frames <- st.State.frames_used;
+  let record : Gc_stats.collection =
+    {
+      Gc_stats.n = Gc_stats.gcs st.State.stats;
+      reason = plan.reason;
+      emergency = plan.emergency;
+      clock_words = st.State.stats.Gc_stats.words_allocated;
+      plan_incs = pi;
+      plan_frames = pf;
+      plan_words = pw;
+      full_heap = plan.full_heap;
+      copied_words = 0;
+      copied_objects = 0;
+      scanned_slots = !scanned_slots;
+      remset_slots = !remset_slots;
+      roots_scanned = !roots_scanned;
+      marked_objects = !marked_objects;
+      marked_words = !marked_words;
+      swept_words = !swept_words;
+      moved_words = !moved_words;
+      freed_frames = !freed_frames;
+      heap_frames_after = st.State.frames_used;
+      reserve_frames = Copy_reserve.frames st;
+    }
+  in
+  Gc_stats.record_collection st.State.stats record;
+  (match st.State.hooks with
+  | [] -> ()
+  | hs ->
+    List.iter
+      (fun h ->
+        h.State.on_reserve ~frames:record.Gc_stats.reserve_frames;
+        h.State.on_collect_end ~full_heap:plan.full_heap)
+      hs);
+  record
+
+(* The strategy dispatch. The copying strategy is the pre-existing
+   collector verbatim (sequential or parallel by fan-out); the
+   in-place strategies are sequential by construction and rejected at
+   configuration time for [gc_domains > 1]. *)
 let collect st plan =
-  if st.State.gc_domains <= 1 then collect_seq st plan else collect_par st plan
+  match st.State.strategy.State.strategy_kind with
+  | State.Strategy_copying ->
+    if st.State.gc_domains <= 1 then collect_seq st plan else collect_par st plan
+  | State.Strategy_marksweep -> collect_mark st plan ~compact:false
+  | State.Strategy_markcompact -> collect_mark st plan ~compact:true

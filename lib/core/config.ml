@@ -20,6 +20,7 @@ type t = {
   los_threshold : int option;
   barrier : barrier;
   policy : string option;
+  strategy : string option;
 }
 
 let validate t =
@@ -56,6 +57,7 @@ let base ~label ~belts ~stamp_mode ~order =
     los_threshold = None;
     barrier = Remsets;
     policy = None;
+    strategy = None;
   }
 
 let pct_bound x = if x >= 100 then Whole_heap else Pct x
@@ -204,6 +206,12 @@ let apply_option cfg opt =
        parser with no dependency on the policy constructors). *)
     Ok { cfg with policy = Some (String.concat ":" spec) }
   | [ "policy" ] -> Error "policy: expected a registry name (try +policy:NAME)"
+  | [ "strategy"; name ] when name <> "" ->
+    (* Existence is checked against the registry by [Strategy.resolve]
+       (Config stays a pure parser, as for [+policy:...]). *)
+    Ok { cfg with strategy = Some name }
+  | [ "strategy" ] ->
+    Error "strategy: expected a registry name (try +strategy:NAME)"
   | _ -> Error (Printf.sprintf "unknown option %S" opt)
 
 let parse_base s =

@@ -92,6 +92,11 @@ type t = {
           [Global_fifo] -> "older-first"). Resolved against
           [Policy.registry] by [Policy.resolve]; [Config] itself never
           interprets it. *)
+  strategy : string option;
+      (** Explicit reclamation-strategy selection from [+strategy:NAME].
+          [None] selects the default copying strategy. Resolved against
+          [Strategy.registry] by [Strategy.resolve]; [Config] itself
+          never interprets it. *)
 }
 
 val validate : t -> (t, string) result
@@ -153,7 +158,9 @@ val parse : string -> (t, string) result
     ["+los:WORDS"] (large object space threshold),
     ["+cards"] / ["+remsets"] (pointer-tracking mechanism),
     ["+policy:NAME[:ARG]"] (explicit policy-registry selection, e.g.
-    ["+policy:sweep:8"]; see [Policy.registry]).
+    ["+policy:sweep:8"]; see [Policy.registry]),
+    ["+strategy:NAME"] (reclamation-strategy selection, e.g.
+    ["+strategy:marksweep"]; see [Strategy.registry]).
     E.g. ["25.25.100+remtrig:100000"] or ["appel+los:256"]. *)
 
 val to_string : t -> string

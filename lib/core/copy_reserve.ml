@@ -67,4 +67,8 @@ let half_frames st = (st.State.heap_frames / 2) + pad st
    (the paper: the reserve "grows until it is finally half of the heap,
    so that the third belt occupancy and the copy reserve are equal in
    size"). *)
-let frames st = st.State.policy.State.reserve_frames st
+(* The installed reclamation strategy owns the reserve: the copying
+   strategy delegates to the installed policy's rule (the formulas
+   above, verbatim), the in-place strategies need no destination
+   frames and return zero. *)
+let frames st = st.State.strategy.State.strategy_reserve st

@@ -27,7 +27,12 @@ let create ?(frame_log_words = 10) ?gc_domains ~config ~heap_bytes () =
     | Ok p -> p
     | Error e -> invalid_arg ("Gc.create: " ^ e)
   in
-  let st = State.create ~config ~policy ~heap_frames ~frame_log_words in
+  let strategy =
+    match Strategy.resolve config with
+    | Ok s -> s
+    | Error e -> invalid_arg ("Gc.create: " ^ e)
+  in
+  let st = State.create ~strategy ~config ~policy ~heap_frames ~frame_log_words () in
   stamp_boot_frames st;
   (match gc_domains with
   | Some n -> State.set_gc_domains st n
@@ -35,6 +40,9 @@ let create ?(frame_log_words = 10) ?gc_domains ~config ~heap_bytes () =
     match env_gc_domains () with
     | Some n -> State.set_gc_domains st n
     | None -> ()));
+  (match Strategy.check_domains strategy ~gc_domains:st.State.gc_domains with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Gc.create: " ^ e));
   st
 
 let register_type st ~name =
@@ -99,7 +107,9 @@ let alloc st ~ty ~nfields =
     finish_alloc st ~ty ~nfields ~size (Increment.base_object inc st.State.mem)
   | _ ->
     let nur = Schedule.prepare_alloc st ~size in
-    let addr = Increment.bump_or_null nur ~size in
+    (* Bump, falling back to the increment's free list (mark-sweep
+       holes); identical to a plain bump when the list is empty. *)
+    let addr = Increment.alloc_or_null nur st.State.mem ~size in
     if addr = Addr.null then
       (* prepare_alloc guarantees room; reaching here is a scheduler bug. *)
       invalid_arg "Gc.alloc: internal error: nursery bump failed after prepare";
@@ -115,7 +125,7 @@ let alloc_pretenured st ~ty ~nfields ~belt =
     finish_alloc st ~ty ~nfields ~size (Increment.base_object inc st.State.mem)
   | _ ->
     let inc = Schedule.prepare_alloc_in st ~belt ~size in
-    let addr = Increment.bump_or_null inc ~size in
+    let addr = Increment.alloc_or_null inc st.State.mem ~size in
     if addr = Addr.null then
       invalid_arg "Gc.alloc_pretenured: internal error: bump failed";
     finish_alloc st ~ty ~nfields ~size addr
@@ -136,6 +146,7 @@ let roots st = st.State.roots
 let stats st = st.State.stats
 let config st = st.State.config
 let policy_name st = st.State.policy.State.policy_name
+let strategy_name st = st.State.strategy.State.strategy_name
 let collect st = ignore (Schedule.collect_now st ~reason:Gc_stats.Forced)
 let full_collect st = ignore (Schedule.full_collect st)
 let heap_frames st = st.State.heap_frames
@@ -146,7 +157,13 @@ let words_allocated st = st.State.stats.Gc_stats.words_allocated
 let bytes_allocated st = words_allocated st * Addr.bytes_per_word
 let live_words_upper_bound st = State.live_words st
 let reserve_frames st = Copy_reserve.frames st
-let set_gc_domains st n = State.set_gc_domains st n
+let set_gc_domains st n =
+  State.set_gc_domains st n;
+  match Strategy.check_domains st.State.strategy ~gc_domains:st.State.gc_domains with
+  | Ok () -> ()
+  | Error e ->
+    State.set_gc_domains st 1;
+    invalid_arg ("Gc.set_gc_domains: " ^ e)
 let gc_domains st = st.State.gc_domains
 let state st = st
 let register_site st ~name = State.register_site st ~name

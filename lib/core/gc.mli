@@ -33,11 +33,15 @@ val create :
     budget, rounded up to whole frames (minimum 4 frames). The
     collector policy is resolved from the configuration through
     [Policy.resolve] (its default for the configuration's order, or
-    the explicit [+policy:NAME] selection). [gc_domains] sets how many
+    the explicit [+policy:NAME] selection), and the reclamation
+    strategy through [Strategy.resolve] (copying unless
+    [+strategy:NAME] selects otherwise). [gc_domains] sets how many
     domains each collection is sharded over (default: the
-    [BELTWAY_GC_DOMAINS] environment variable, else 1 = sequential).
-    @raise Invalid_argument on an invalid configuration or an unknown
-    policy. *)
+    [BELTWAY_GC_DOMAINS] environment variable, else 1 = sequential);
+    a non-parallel strategy combined with [gc_domains > 1] is
+    rejected.
+    @raise Invalid_argument on an invalid configuration, an unknown
+    policy or strategy, or a strategy/[gc_domains] mismatch. *)
 
 val register_type : t -> name:string -> Type_registry.id
 (** Register (or look up) a type; allocates its immortal type object in
@@ -90,6 +94,11 @@ val policy_name : t -> string
 (** Registry name of the installed collector policy (see
     [Policy.registry]). *)
 
+val strategy_name : t -> string
+(** Registry name of the installed reclamation strategy (see
+    [Strategy.registry]); ["copying"] unless the configuration selected
+    another with [+strategy:NAME]. *)
+
 val collect : t -> unit
 (** Force one policy collection (no-op on an empty heap). *)
 
@@ -112,7 +121,10 @@ val reserve_frames : t -> int
 val set_gc_domains : t -> int -> unit
 (** Change the collection fan-out for subsequent collections (clamped
     to [1, Beltway_util.Team.max_size]). One domain is the sequential
-    collector, byte-identical to the pre-parallel behaviour. *)
+    collector, byte-identical to the pre-parallel behaviour.
+    @raise Invalid_argument when the installed strategy does not
+    support a parallel drain and the clamped fan-out exceeds 1 (the
+    fan-out is reset to 1 first, so the heap stays usable). *)
 
 val gc_domains : t -> int
 (** The fan-out currently in force. *)

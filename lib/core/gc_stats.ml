@@ -29,6 +29,9 @@ type gc_phase =
   | Phase_remset
   | Phase_cards
   | Phase_cheney
+  | Phase_mark
+  | Phase_sweep
+  | Phase_compact
   | Phase_free
 
 let phase_to_string = function
@@ -36,10 +39,22 @@ let phase_to_string = function
   | Phase_remset -> "remset-drain"
   | Phase_cards -> "card-drain"
   | Phase_cheney -> "cheney-copy"
+  | Phase_mark -> "mark"
+  | Phase_sweep -> "sweep"
+  | Phase_compact -> "compact"
   | Phase_free -> "frame-free"
 
 let all_phases =
-  [ Phase_roots; Phase_remset; Phase_cards; Phase_cheney; Phase_free ]
+  [
+    Phase_roots;
+    Phase_remset;
+    Phase_cards;
+    Phase_cheney;
+    Phase_mark;
+    Phase_sweep;
+    Phase_compact;
+    Phase_free;
+  ]
 
 type collection = {
   n : int;
@@ -58,6 +73,10 @@ type collection = {
   freed_frames : int;
   heap_frames_after : int;
   reserve_frames : int;
+  marked_objects : int;
+  marked_words : int;
+  swept_words : int;
+  moved_words : int;
 }
 
 let collection_label c =
@@ -81,11 +100,16 @@ let dummy_collection =
     freed_frames = 0;
     heap_frames_after = 0;
     reserve_frames = 0;
+    marked_objects = 0;
+    marked_words = 0;
+    swept_words = 0;
+    moved_words = 0;
   }
 
 type t = {
   mutable config_label : string;
   mutable policy_name : string;
+  mutable strategy_name : string;
   mutable words_allocated : int;
   mutable objects_allocated : int;
   mutable barrier_ops : int;
@@ -101,6 +125,7 @@ let create () =
   {
     config_label = "";
     policy_name = "";
+    strategy_name = "";
     words_allocated = 0;
     objects_allocated = 0;
     barrier_ops = 0;
@@ -136,8 +161,16 @@ let pp_summary fmt t =
      heap (State.create fills both fields); a bare [create ()] keeps
      the historical four-line shape. *)
   Format.fprintf fmt "@[<v>";
+  (* The strategy is named only when it departs from the default
+     copying collector, so pre-strategy output is preserved byte for
+     byte. *)
   if t.config_label <> "" || t.policy_name <> "" then
-    Format.fprintf fmt "collector: %s [policy %s]@," t.config_label t.policy_name;
+    if t.strategy_name = "" || t.strategy_name = "copying" then
+      Format.fprintf fmt "collector: %s [policy %s]@," t.config_label
+        t.policy_name
+    else
+      Format.fprintf fmt "collector: %s [policy %s, strategy %s]@,"
+        t.config_label t.policy_name t.strategy_name;
   Format.fprintf fmt
     "allocated: %d words in %d objects@,\
      barriers: %d (%d fast, %d slow, %d filtered = %.1f%%)@,\

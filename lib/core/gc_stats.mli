@@ -26,9 +26,14 @@ type gc_phase =
   | Phase_remset  (** draining remembered slots targeting the plan *)
   | Phase_cards  (** scanning dirty frames (card barrier) *)
   | Phase_cheney  (** the Cheney grey-set drain (copy + scan) *)
+  | Phase_mark  (** tracing mark bits + mark stack (non-moving strategies) *)
+  | Phase_sweep  (** free-list rebuild over dead runs (mark-sweep) *)
+  | Phase_compact  (** pointer threading + slide (mark-compact) *)
   | Phase_free  (** releasing the plan's evacuated increments *)
 (** Phases of one collection, in execution order, as reported through
-    [State.hooks.on_gc_phase] for the flight recorder's phase spans. *)
+    [State.hooks.on_gc_phase] for the flight recorder's phase spans.
+    A collection runs either the Cheney phase or the mark/sweep or
+    mark/compact pair, per the installed reclamation strategy. *)
 
 val phase_to_string : gc_phase -> string
 val all_phases : gc_phase list
@@ -55,6 +60,10 @@ type collection = {
   freed_frames : int;
   heap_frames_after : int;  (** frames still held after the collection *)
   reserve_frames : int;  (** copy reserve in force when triggered *)
+  marked_objects : int;  (** objects marked in place (non-moving strategies) *)
+  marked_words : int;  (** words of marked objects *)
+  swept_words : int;  (** dead words turned into free-list fillers *)
+  moved_words : int;  (** words slid by the compaction pass *)
 }
 
 val collection_label : collection -> string
@@ -69,6 +78,9 @@ type t = {
   mutable policy_name : string;
       (** registry name of the installed policy (filled by
           [State.create]; [""] for bare statistics) *)
+  mutable strategy_name : string;
+      (** registry name of the installed reclamation strategy (filled
+          by [State.create]; [""] for bare statistics) *)
   mutable words_allocated : int;
   mutable objects_allocated : int;
   mutable barrier_ops : int;  (** barrier executions (every pointer store) *)

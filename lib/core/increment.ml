@@ -15,6 +15,8 @@ type t = {
   pinned : bool;
   mutable in_plan : bool;
   mutable gc_mark : bool;
+  free_list : int Vec.t;
+  mutable free_word_count : int;
 }
 
 type pos = { mutable fi : int; mutable addr : Addr.t }
@@ -35,6 +37,8 @@ let create ~id ~belt ~stamp ~bound_frames =
     pinned = false;
     in_plan = false;
     gc_mark = false;
+    free_list = Vec.create ~dummy:0 ();
+    free_word_count = 0;
   }
 
 (* A pinned (large-object-space) increment: exactly one object of
@@ -57,6 +61,8 @@ let create_pinned ~id ~belt ~stamp ~frames:frame_list mem ~size =
       pinned = true;
       in_plan = false;
       gc_mark = false;
+      free_list = Vec.create ~dummy:0 ();
+      free_word_count = 0;
     }
   in
   let fw = Memory.frame_words mem in
@@ -132,6 +138,84 @@ let unbump t ~addr ~size =
   t.objects <- t.objects - 1
 
 let seal t = t.sealed <- true
+
+(* ------------------------------------------------------------------ *)
+(* Free-list reallocation (mark-sweep strategy). Each hole left by a
+   swept object run is a *filler object* in the heap — even header
+   [(words - header_words) lsl 1], every payload word an odd immediate
+   — so the object stream stays walkable, and the free list is just an
+   index over those fillers: flat (address, words) pairs. First-fit
+   with a remainder rule: a hole may be taken exactly, or split
+   leaving at least [header_words] words for the remainder filler
+   (1-word remainders cannot be represented, so such holes are
+   skipped for that size). *)
+
+let clear_free_list t =
+  Vec.clear t.free_list;
+  t.free_word_count <- 0
+
+let push_free t ~addr ~words =
+  Vec.push t.free_list addr;
+  Vec.push t.free_list words;
+  t.free_word_count <- t.free_word_count + words
+
+let free_words t = t.free_word_count
+
+let fits_free t ~size =
+  let n = Vec.length t.free_list in
+  let i = ref 0 in
+  let found = ref false in
+  while (not !found) && !i < n do
+    let words = Vec.get t.free_list (!i + 1) in
+    if words = size || words >= size + Object_model.header_words then
+      found := true
+    else i := !i + 2
+  done;
+  !found
+
+let fit_or_null t mem ~size =
+  let n = Vec.length t.free_list in
+  let i = ref 0 in
+  let addr = ref Addr.null in
+  while !addr = Addr.null && !i < n do
+    let a = Vec.get t.free_list !i in
+    let words = Vec.get t.free_list (!i + 1) in
+    if words = size then begin
+      (* Exact fit: drop the pair (swap-remove keeps the vec dense). *)
+      let last = Vec.length t.free_list - 2 in
+      Vec.set t.free_list !i (Vec.get t.free_list last);
+      Vec.set t.free_list (!i + 1) (Vec.get t.free_list (last + 1));
+      Vec.truncate t.free_list last;
+      addr := a
+    end
+    else if words >= size + Object_model.header_words then begin
+      (* Split: the remainder stays a filler object in place. *)
+      let rem = words - size in
+      Memory.set mem (a + size) ((rem - Object_model.header_words) lsl 1);
+      Memory.fill mem ~dst:(a + size + 1) ~len:(rem - 1) 1;
+      Vec.set t.free_list !i (a + size);
+      Vec.set t.free_list (!i + 1) rem;
+      t.objects <- t.objects + 1;
+      addr := a
+    end
+    else i := !i + 2
+  done;
+  if !addr <> Addr.null then begin
+    t.free_word_count <- t.free_word_count - size;
+    (* The hole's words are odd immediates; the allocation contract is
+       zeroed (null-field) memory, like a fresh bump. *)
+    Memory.fill mem ~dst:!addr ~len:size 0
+  end;
+  !addr
+
+(* Bump first (the common case, identical to the copying allocator),
+   then fall back to the free list; [Addr.null] when neither fits. *)
+let alloc_or_null t mem ~size =
+  let addr = bump_or_null t ~size in
+  if addr <> Addr.null then addr
+  else if t.free_word_count >= size && not t.sealed then
+    fit_or_null t mem ~size
+  else Addr.null
 
 (* Used words of frame [fi]: retired frames have a recorded extent; the
    frame under the cursor extends to the cursor. *)

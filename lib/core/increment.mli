@@ -30,6 +30,10 @@ type t = {
   mutable gc_mark : bool;
       (* transient per-collection mark (pinned increment reached, or
          queued for a card scan). Always false outside a collection. *)
+  free_list : int Beltway_util.Vec.t;
+      (* flat (address, words) pairs indexing the filler objects left
+         by a sweep; empty under the copying strategy *)
+  mutable free_word_count : int; (* sum of the free-list hole sizes *)
 }
 
 type pos
@@ -50,6 +54,12 @@ val base_object : t -> Memory.t -> Addr.t
     @raise Invalid_argument if not pinned. *)
 
 val frame_count : t -> int
+
+val used_of_frame : t -> Memory.t -> int -> int
+(** Used words of the increment's [fi]-th frame: the recorded extent
+    of a retired frame, the bump cursor's progress in the frame under
+    it (zero for an index out of range). The in-place strategies walk
+    and rebuild increments frame by frame with this. *)
 
 val occupancy_frames : t -> int
 (** Frames held (the collection/copy-reserve accounting unit). *)
@@ -90,6 +100,36 @@ val unbump : t -> addr:Addr.t -> size:int -> unit
 val seal : t -> unit
 (** Close to further allocation (nursery handoff for the time-to-die
     trigger; plan membership seals too). *)
+
+(** {2 Free-list reallocation}
+
+    The mark-sweep strategy turns each dead run into a *filler object*
+    (even header, odd-immediate payload) so the object stream stays
+    walkable, and indexes the holes here as flat (address, words)
+    pairs. Allocation is first-fit with a remainder rule: a hole is
+    taken exactly or split leaving at least [Object_model.header_words]
+    words for the remainder filler. Copying increments never populate
+    the list, so these paths cost them nothing. *)
+
+val clear_free_list : t -> unit
+val push_free : t -> addr:Addr.t -> words:int -> unit
+
+val free_words : t -> int
+(** Total words on the free list (an upper bound on what
+    {!fit_or_null} can place). *)
+
+val fits_free : t -> size:int -> bool
+(** Whether some hole admits a [size]-word object under the remainder
+    rule — the schedule's must-this-allocation-trigger test. *)
+
+val fit_or_null : t -> Memory.t -> size:int -> Addr.t
+(** Take the first fitting hole: returns zeroed memory like a fresh
+    bump, writes the remainder filler when splitting, or [Addr.null]
+    when no hole fits. *)
+
+val alloc_or_null : t -> Memory.t -> size:int -> Addr.t
+(** {!bump_or_null}, falling back to {!fit_or_null} when the bump
+    fails and the increment is not sealed. *)
 
 val scan_pos : t -> pos
 (** Position at the current frontier: subsequent copies into this

@@ -23,9 +23,13 @@ let closure st (target : Increment.t) =
    each belt); the copy reserve's pad guarantees this fits whenever
    the plan is no larger than the reserve's potential. *)
 let feasible st plan =
-  Collector.evacuation_frames plan
-  + (Array.length st.State.belts * st.State.gc_domains)
-  <= State.free_frames st
+  (* In-place strategies reclaim without destination frames: every
+     plan is feasible (the whole point of running without a copy
+     reserve). *)
+  (not st.State.strategy.State.strategy_needs_reserve)
+  || Collector.evacuation_frames plan
+     + (Array.length st.State.belts * st.State.gc_domains)
+     <= State.free_frames st
 
 let choose_plan st ~reason =
   let all = State.live_increments st in
@@ -132,6 +136,31 @@ let alloc_large st ~size =
   in
   go 0
 
+(* Free-list reallocation, the in-place strategies' last resort: when
+   the heap has no whole frame left (the regime where a copying
+   collector is simply out of memory), an allocation that does not fit
+   its target increment may land in any unsealed increment's swept
+   holes. Gated off entirely under a reserve-carrying (copying)
+   strategy — its increments never carry free lists, and the gate
+   keeps the trigger cascade byte-identical. While whole frames remain
+   the fallback stays out of the way, so the policy's collection
+   cadence (time-to-die, nursery bounds) is untouched. *)
+let fit_fallback st ~size =
+  if
+    st.State.strategy.State.strategy_needs_reserve
+    || State.free_frames st > 0
+  then None
+  else
+    List.find_opt
+      (fun (i : Increment.t) ->
+        (not i.Increment.sealed)
+        && (not i.Increment.pinned)
+        && (Increment.fits_free i ~size
+           || (i.Increment.cursor <> Addr.null
+              && i.Increment.cursor + size <= i.Increment.limit))
+      (* holes from the sweep, or the bump tail the compactor reopened *))
+      (State.live_increments st)
+
 let prepare_alloc_in st ~belt ~size =
   (* Pretenured allocation (segregation by allocation site, paper S5):
      bump directly in the open increment of a higher belt, under the
@@ -162,16 +191,20 @@ let prepare_alloc_in st ~belt ~size =
     let inc = State.open_inc st ~belt in
     if
       (not inc.Increment.sealed)
-      && inc.Increment.cursor <> Addr.null
-      && inc.Increment.cursor + size <= inc.Increment.limit
+      && ((inc.Increment.cursor <> Addr.null
+          && inc.Increment.cursor + size <= inc.Increment.limit)
+         || Increment.fits_free inc ~size)
     then inc
     else
+      match fit_fallback st ~size with
+      | Some holes -> holes
+      | None -> (
       match st.State.policy.State.pretenure_trigger st with
       | State.Alloc_collect reason -> collect reason
       | State.Alloc_grant | State.Alloc_open_nursery | State.Alloc_split_nursery
         ->
         State.grant_frame st inc ~during_gc:false;
-        go attempts
+        go attempts)
   in
   go 0
 
@@ -200,32 +233,41 @@ let prepare_alloc st ~size =
              (Printf.sprintf "nothing collectible for a %d-word allocation" size))
     in
     let nur = nursery st in
+    (* The fit test admits free-list holes (mark-sweep increments):
+       without this, a swept-but-roomy nursery at its frame bound
+       would re-trigger collection forever instead of reusing its
+       holes. Copying increments have empty free lists, so the extra
+       disjunct is dead for them. *)
     if
       (not nur.Increment.sealed)
-      && nur.Increment.cursor <> Addr.null
-      && nur.Increment.cursor + size <= nur.Increment.limit
+      && ((nur.Increment.cursor <> Addr.null
+          && nur.Increment.cursor + size <= nur.Increment.limit)
+         || Increment.fits_free nur ~size)
     then nur
     else
-      (* The allocation does not fit: the policy's trigger cascade
-         decides among collecting, granting a frame, opening another
-         allocation window, or a time-to-die nursery split; the
-         schedule interprets the verdict mechanically. *)
-      match st.State.policy.State.alloc_trigger st ~size with
-      | State.Alloc_collect reason -> collect reason
-      | State.Alloc_open_nursery ->
-        let fresh = State.new_increment st ~belt:0 in
-        State.grant_frame st fresh ~during_gc:false;
-        go attempts
-      | State.Alloc_split_nursery ->
-        (* Time-to-die: seal the current nursery increment and direct
-           the youngest allocation into a fresh one that the next
-           nursery collection will spare. *)
-        Increment.seal nur;
-        let fresh = State.new_increment st ~belt:0 in
-        State.grant_frame st fresh ~during_gc:false;
-        go attempts
-      | State.Alloc_grant ->
-        State.grant_frame st nur ~during_gc:false;
-        go attempts
+      match fit_fallback st ~size with
+      | Some holes -> holes
+      | None -> (
+        (* The allocation does not fit: the policy's trigger cascade
+           decides among collecting, granting a frame, opening another
+           allocation window, or a time-to-die nursery split; the
+           schedule interprets the verdict mechanically. *)
+        match st.State.policy.State.alloc_trigger st ~size with
+        | State.Alloc_collect reason -> collect reason
+        | State.Alloc_open_nursery ->
+          let fresh = State.new_increment st ~belt:0 in
+          State.grant_frame st fresh ~during_gc:false;
+          go attempts
+        | State.Alloc_split_nursery ->
+          (* Time-to-die: seal the current nursery increment and direct
+             the youngest allocation into a fresh one that the next
+             nursery collection will spare. *)
+          Increment.seal nur;
+          let fresh = State.new_increment st ~belt:0 in
+          State.grant_frame st fresh ~during_gc:false;
+          go attempts
+        | State.Alloc_grant ->
+          State.grant_frame st nur ~during_gc:false;
+          go attempts)
   in
   go 0

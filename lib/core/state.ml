@@ -19,6 +19,7 @@ type hooks = {
   on_alloc : addr:Addr.t -> tib:Value.t -> nfields:int -> unit;
   on_write : obj:Addr.t -> field:int -> value:Value.t -> unit;
   on_move : src:Addr.t -> dst:Addr.t -> unit;
+  on_object_dead : addr:Addr.t -> words:int -> unit;
   on_collect_start : reason:Gc_stats.reason -> emergency:bool -> unit;
   on_collect_end : full_heap:bool -> unit;
   on_gc_phase : phase:Gc_stats.gc_phase -> enter:bool -> unit;
@@ -36,6 +37,7 @@ let noop_hooks =
     on_alloc = (fun ~addr:_ ~tib:_ ~nfields:_ -> ());
     on_write = (fun ~obj:_ ~field:_ ~value:_ -> ());
     on_move = (fun ~src:_ ~dst:_ -> ());
+    on_object_dead = (fun ~addr:_ ~words:_ -> ());
     on_collect_start = (fun ~reason:_ ~emergency:_ -> ());
     on_collect_end = (fun ~full_heap:_ -> ());
     on_gc_phase = (fun ~phase:_ ~enter:_ -> ());
@@ -98,6 +100,18 @@ type alloc_action =
       (** time-to-die: seal the nursery and open a fresh increment the
           next nursery collection will spare *)
 
+(* The reclamation-strategy descriptor: how the increments of a plan
+   are reclaimed, orthogonal to the policy (which decides *what* to
+   collect and when). Like [policy], the record lives here because its
+   closure consumes the state that stores it; [Strategy] constructs
+   the records and owns the registry, and [Collector] interprets the
+   kind. Plain data ([strategy_kind], the booleans) is read per
+   collection; only the reserve rule is a closure. *)
+type strategy_kind =
+  | Strategy_copying  (** Cheney evacuation (the pre-strategy collector) *)
+  | Strategy_marksweep  (** mark bitmap + free-list sweep, in place *)
+  | Strategy_markcompact  (** mark bitmap + threaded slide, in place *)
+
 type t = {
   mem : Memory.t;
   boot : Boot_space.t;
@@ -106,6 +120,7 @@ type t = {
   ftab : Frame_table.t;
   config : Config.t;
   policy : policy;
+  strategy : strategy;
   heap_frames : int;
   belts : Belt.t array;
   belt_bounds : int option array;
@@ -116,6 +131,7 @@ type t = {
   mutable inc_by_id : Increment.t option array;
   gc_slots : int Beltway_util.Vec.t;
   gc_pinned : Increment.t Beltway_util.Vec.t;
+  gc_mark_stack : int Beltway_util.Vec.t;
   mutable frames_used : int;
   mutable next_inc_id : int;
   mutable seq : int;
@@ -174,7 +190,35 @@ and policy = {
           one is created (BOF: flip the belts) *)
 }
 
-let create ~config ~policy ~heap_frames ~frame_log_words =
+and strategy = {
+  strategy_name : string;  (** registry key, for reporting *)
+  strategy_kind : strategy_kind;
+  strategy_moving : bool;
+      (** whether surviving objects change address (copying: across
+          frames; mark-compact: within the increment's own frames) *)
+  strategy_needs_reserve : bool;
+      (** whether collections need destination frames up front (the
+          schedule's feasibility test and the heap-full trigger) *)
+  strategy_parallel : bool;
+      (** whether the strategy supports the sharded [gc_domains > 1]
+          drain; non-parallel strategies are rejected at setup *)
+  strategy_reserve : t -> int;
+      (** reserve frames to hold back; the copying strategy delegates
+          to the installed policy's rule verbatim *)
+}
+
+let copying_strategy =
+  {
+    strategy_name = "copying";
+    strategy_kind = Strategy_copying;
+    strategy_moving = true;
+    strategy_needs_reserve = true;
+    strategy_parallel = true;
+    strategy_reserve = (fun st -> st.policy.reserve_frames st);
+  }
+
+let create ?(strategy = copying_strategy) ~config ~policy ~heap_frames
+    ~frame_log_words () =
   let config =
     match Config.validate config with
     | Ok c -> c
@@ -206,6 +250,7 @@ let create ~config ~policy ~heap_frames ~frame_log_words =
   let stats = Gc_stats.create () in
   stats.Gc_stats.config_label <- config.Config.label;
   stats.Gc_stats.policy_name <- policy.policy_name;
+  stats.Gc_stats.strategy_name <- strategy.strategy_name;
   let site_names = Beltway_util.Vec.create ~dummy:"" () in
   Beltway_util.Vec.push site_names "unknown";
   let site_ids = Hashtbl.create 64 in
@@ -218,6 +263,7 @@ let create ~config ~policy ~heap_frames ~frame_log_words =
     ftab;
     config;
     policy;
+    strategy;
     heap_frames;
     belts;
     belt_bounds;
@@ -231,6 +277,7 @@ let create ~config ~policy ~heap_frames ~frame_log_words =
       Beltway_util.Vec.create
         ~dummy:(Increment.create ~id:(-1) ~belt:0 ~stamp:0 ~bound_frames:None)
         ();
+    gc_mark_stack = Beltway_util.Vec.create ~dummy:0 ();
     frames_used = 0;
     next_inc_id = 0;
     seq = 0;

@@ -37,8 +37,15 @@ type hooks = {
   on_write : obj:Addr.t -> field:int -> value:Value.t -> unit;
       (** after a mutator field store (and its barrier record) *)
   on_move : src:Addr.t -> dst:Addr.t -> unit;
-      (** after the collector evacuates an object and installs its
-          forwarding pointer *)
+      (** after the collector relocates an object: a Cheney evacuation
+          (forwarding pointer installed) or a compaction slide. Fired
+          only for objects whose address actually changed. *)
+  on_object_dead : addr:Addr.t -> words:int -> unit;
+      (** a non-moving strategy found the object unreachable and is
+          reclaiming it in place (its words become a free-list filler
+          or are slid over); fired during the sweep/compact phase,
+          before the words are reused. Copying collections never fire
+          it — death is implied by frame free there. *)
   on_collect_start : reason:Gc_stats.reason -> emergency:bool -> unit;
       (** on entering a collection, before any evacuation *)
   on_collect_end : full_heap:bool -> unit;
@@ -136,6 +143,21 @@ type alloc_action =
       (** time-to-die: seal the nursery and open a fresh increment the
           next nursery collection will spare *)
 
+(** {2 The reclamation-strategy layer}
+
+    A {!strategy} record owns *how* a plan's increments are reclaimed —
+    Cheney evacuation, bitmap mark-sweep, or threaded mark-compact —
+    orthogonal to the {!policy}, which owns what to collect and when.
+    Like [policy], the type lives here because its closure consumes the
+    state that stores it; [Strategy] constructs the records and owns
+    the registry, and [Collector] dispatches on {!strategy_kind} once
+    per collection. *)
+
+type strategy_kind =
+  | Strategy_copying  (** Cheney evacuation (the pre-strategy collector) *)
+  | Strategy_marksweep  (** mark bitmap + free-list sweep, in place *)
+  | Strategy_markcompact  (** mark bitmap + threaded slide, in place *)
+
 type t = {
   mem : Memory.t;
   boot : Boot_space.t;
@@ -144,6 +166,7 @@ type t = {
   ftab : Frame_table.t; (** flat per-frame stamps + packed GC metadata *)
   config : Config.t;
   policy : policy; (** the installed collector policy *)
+  strategy : strategy; (** the installed reclamation strategy *)
   heap_frames : int; (** collector-owned frame budget *)
   belts : Belt.t array;
   belt_bounds : int option array; (** resolved increment bounds per belt *)
@@ -159,6 +182,9 @@ type t = {
       (** reused scratch for the collector's remembered-slot snapshot *)
   gc_pinned : Increment.t Beltway_util.Vec.t;
       (** reused scratch for the collector's pinned grey set *)
+  gc_mark_stack : int Beltway_util.Vec.t;
+      (** reused scratch for the marking strategies' explicit mark
+          stack (grey object addresses) *)
   mutable frames_used : int;
   mutable next_inc_id : int;
   mutable seq : int; (** stamp sequence counter *)
@@ -220,6 +246,29 @@ and policy = {
           is created (BOF: flip the belts) *)
 }
 
+and strategy = {
+  strategy_name : string;  (** registry key, for reporting *)
+  strategy_kind : strategy_kind;
+  strategy_moving : bool;
+      (** whether surviving objects change address (copying: across
+          frames; mark-compact: within the increment's own frames) *)
+  strategy_needs_reserve : bool;
+      (** whether collections need destination frames up front (the
+          schedule's feasibility test and the heap-full trigger) *)
+  strategy_parallel : bool;
+      (** whether the strategy supports the sharded [gc_domains > 1]
+          drain; non-parallel strategies are rejected at setup *)
+  strategy_reserve : t -> int;
+      (** reserve frames to hold back; the copying strategy delegates
+          to the installed policy's rule verbatim *)
+}
+
+val copying_strategy : strategy
+(** The Cheney-evacuation strategy: exactly the pre-strategy collector
+    (its reserve rule is the installed policy's, its drain the
+    untouched sequential/parallel copy loop), so every pre-strategy
+    configuration behaves byte-identically. *)
+
 val add_hooks : t -> hooks -> unit
 (** Install an observation hook set (appended; hooks fire in
     installation order). *)
@@ -241,11 +290,18 @@ val site_name : t -> int -> string
 (** Label of a site id; out-of-range ids map to "unknown". *)
 
 val create :
-  config:Config.t -> policy:policy -> heap_frames:int -> frame_log_words:int -> t
+  ?strategy:strategy ->
+  config:Config.t ->
+  policy:policy ->
+  heap_frames:int ->
+  frame_log_words:int ->
+  unit ->
+  t
 (** Fresh state with an empty heap under the given policy (resolve one
-    from the configuration with [Policy.resolve]; [Gc.create] does).
-    [heap_frames] is the collector's budget; the underlying memory is
-    sized with headroom for the boot space.
+    from the configuration with [Policy.resolve]; [Gc.create] does)
+    and reclamation strategy (default {!copying_strategy}; resolve one
+    with [Strategy.resolve]). [heap_frames] is the collector's budget;
+    the underlying memory is sized with headroom for the boot space.
     @raise Invalid_argument on a configuration that fails
     [Config.validate]. *)
 

@@ -13,6 +13,10 @@ type t = {
   mutable next_fresh : int; (* next never-used frame index *)
   mutable live : int;
   cas_locks : bool Atomic.t array; (* address-striped spinlocks for cas_word *)
+  mutable marks : Bytes.t;
+      (* side mark bitmap: one bit per word, indexed by address. Empty
+         until a marking strategy calls [ensure_marks]; grown alongside
+         the backing so addresses stay valid indices. *)
 }
 
 (* Word-access checking (null / dead-frame detection) is on by default:
@@ -49,6 +53,7 @@ let create ~frame_log_words ~max_frames =
     next_fresh = 1 (* frame 0 reserved: address 0 is null *);
     live = 0;
     cas_locks = Array.init (cas_stripes * cas_stride) (fun _ -> Atomic.make false);
+    marks = Bytes.empty;
   }
 
 let frame_log t = t.frame_log
@@ -82,6 +87,11 @@ let grow_backing t needed =
     let liveness = Bytes.make ((cap + 7) / 8) '\000' in
     Bytes.blit t.liveness 0 liveness 0 (Bytes.length t.liveness);
     t.liveness <- liveness;
+    if Bytes.length t.marks > 0 then begin
+      let marks = Bytes.make (((cap lsl t.frame_log) + 7) / 8) '\000' in
+      Bytes.blit t.marks 0 marks 0 (Bytes.length t.marks);
+      t.marks <- marks
+    end;
     t.cap_frames <- cap
   end
 
@@ -263,3 +273,32 @@ let cas_word t a ~expect ~desired =
 let frame_base t idx = idx lsl t.frame_log
 let addr_frame t a = a lsr t.frame_log
 let addr_offset t a = a land (t.frame_words - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Side mark bitmap: the liveness machinery one level down — a bit per
+   *word* instead of per frame, keyed by address. Non-moving
+   reclamation strategies use it to record per-object reachability
+   without touching header words (so forwarding encodings and the mark
+   state can never collide). Lazily materialised: copying collectors
+   never pay for it. *)
+
+let ensure_marks t =
+  let need = ((t.cap_frames lsl t.frame_log) + 7) / 8 in
+  if Bytes.length t.marks < need then begin
+    let marks = Bytes.make need '\000' in
+    Bytes.blit t.marks 0 marks 0 (Bytes.length t.marks);
+    t.marks <- marks
+  end
+
+let[@inline] marked t a =
+  Char.code (Bytes.unsafe_get t.marks (a lsr 3)) land (1 lsl (a land 7)) <> 0
+
+let[@inline] set_mark t a =
+  let i = a lsr 3 in
+  let byte = Char.code (Bytes.unsafe_get t.marks i) in
+  Bytes.unsafe_set t.marks i (Char.unsafe_chr (byte lor (1 lsl (a land 7))))
+
+let clear_marks_frame t idx =
+  (* A frame's address range is byte-aligned in the bitmap:
+     [frame_words >= 16], so the range spans whole bytes. *)
+  Bytes.fill t.marks ((idx lsl t.frame_log) lsr 3) (t.frame_words lsr 3) '\000'

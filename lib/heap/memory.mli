@@ -124,3 +124,29 @@ val addr_frame : t -> Addr.t -> int
 val addr_offset : t -> Addr.t -> int
 (** Word offset of an address within its frame (mask) — the slot key
     for per-frame side tables. *)
+
+(** {2 Side mark bitmap}
+
+    One bit per heap *word*, keyed by address — the per-object
+    reachability record used by the non-moving reclamation strategies
+    (mark-sweep, mark-compact). Kept outside the heap so mark state can
+    never collide with header encodings (forwarding pointers are odd
+    header words). Lazily materialised: a heap that never marks never
+    allocates it. *)
+
+val ensure_marks : t -> unit
+(** Materialise (or grow) the mark bitmap to cover every currently
+    addressable frame. Must be called before {!marked} / {!set_mark};
+    the bitmap then tracks backing growth automatically. *)
+
+val marked : t -> Addr.t -> bool
+(** Whether the word at an address carries a mark. Undefined before
+    {!ensure_marks}. *)
+
+val set_mark : t -> Addr.t -> unit
+(** Set the mark bit for an address. Undefined before
+    {!ensure_marks}. *)
+
+val clear_marks_frame : t -> int -> unit
+(** Clear every mark bit in one frame's address range (strategies clear
+    exactly the plan's frames at mark-phase start). *)

@@ -162,6 +162,24 @@ let record_frame_free t ~frame =
         tbl;
       Hashtbl.reset tbl (* keep the table: frames are recycled *)
 
+(* An in-place strategy reclaimed one object without freeing its
+   frame (swept into a free list, or slid over by the compactor):
+   charge the site's death accumulators directly. Freed-frame deaths
+   keep going through [record_frame_free] — the collector fires
+   exactly one of the two per dead object, never both. *)
+let record_object_dead t ~addr =
+  let st = Beltway.Gc.state t.gc in
+  let mem = st.State.mem in
+  let tbl = bucket t (Memory.addr_frame mem addr) in
+  let off = Memory.addr_offset mem addr in
+  match Hashtbl.find_opt tbl off with
+  | None -> () (* allocated before attach; untracked *)
+  | Some sl ->
+    Hashtbl.remove tbl off;
+    ensure_site t sl.sl_site;
+    t.dead_objects.(sl.sl_site) <- t.dead_objects.(sl.sl_site) + 1;
+    t.dead_words.(sl.sl_site) <- t.dead_words.(sl.sl_site) + sl.sl_words
+
 let record_collect_end t ~pause_us =
   let st = Beltway.Gc.state t.gc in
   let stats = st.State.stats in
@@ -215,6 +233,7 @@ let attach gc =
       State.on_alloc = (fun ~addr ~tib:_ ~nfields -> record_alloc t ~addr ~nfields);
       on_move = (fun ~src ~dst -> record_move t ~src ~dst);
       on_frame_free = (fun ~frame ~belt:_ -> record_frame_free t ~frame);
+      on_object_dead = (fun ~addr ~words:_ -> record_object_dead t ~addr);
       on_collect_start =
         (fun ~reason:_ ~emergency:_ -> t.open_pause_start <- Unix.gettimeofday ());
       on_collect_end =

@@ -104,6 +104,18 @@ let record_collection_end t ~full_heap =
     t.last_pause_end_us <- end_us;
     Metrics.observe m ~bucket_width:copied_bytes_width "gc.copied_bytes"
       (float_of_int (c.Gc_stats.copied_words * Addr.bytes_per_word));
+    (* In-place strategy volumes. Guarded on nonzero so a copying run
+       never creates these tracks and its metric dump stays
+       byte-identical to the pre-strategy recorder. *)
+    if c.Gc_stats.marked_words > 0 then
+      Metrics.observe m ~bucket_width:copied_bytes_width "gc.marked_bytes"
+        (float_of_int (c.Gc_stats.marked_words * Addr.bytes_per_word));
+    if c.Gc_stats.swept_words > 0 then
+      Metrics.observe m ~bucket_width:copied_bytes_width "gc.swept_bytes"
+        (float_of_int (c.Gc_stats.swept_words * Addr.bytes_per_word));
+    if c.Gc_stats.moved_words > 0 then
+      Metrics.observe m ~bucket_width:copied_bytes_width "gc.moved_bytes"
+        (float_of_int (c.Gc_stats.moved_words * Addr.bytes_per_word));
     Metrics.observe m ~bucket_width:remset_slots_width "gc.remset_slots"
       (float_of_int c.Gc_stats.remset_slots);
     Metrics.set_gauge m "heap.frames_used" (float_of_int st.State.frames_used);

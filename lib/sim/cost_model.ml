@@ -10,6 +10,9 @@ type t = {
   gc_scan_slot : float;
   gc_remset_slot : float;
   gc_free_frame : float;
+  gc_mark_word : float;
+  gc_sweep_word : float;
+  gc_move_word : float;
 }
 
 let default =
@@ -25,6 +28,15 @@ let default =
     gc_scan_slot = 2.0;
     gc_remset_slot = 5.0;
     gc_free_frame = 30.0;
+    (* In-place strategy terms. Marking touches a word plus a bitmap
+       bit (cheaper than an evacuating copy); sweeping is a linear
+       header scan (cheapest per word); a compaction slide is a
+       memmove without the re-scan a copy pays. All three stats are
+       zero under the copying strategy, so these terms contribute
+       exactly 0.0 there and every copying figure is unchanged. *)
+    gc_mark_word = 3.0;
+    gc_sweep_word = 0.5;
+    gc_move_word = 2.0;
   }
 
 let mutator_time t (s : Beltway.Gc_stats.t) =
@@ -41,6 +53,9 @@ let collection_time t (c : Beltway.Gc_stats.collection) =
   +. (t.gc_scan_slot *. float_of_int c.Beltway.Gc_stats.scanned_slots)
   +. (t.gc_remset_slot *. float_of_int c.Beltway.Gc_stats.remset_slots)
   +. (t.gc_free_frame *. float_of_int c.Beltway.Gc_stats.freed_frames)
+  +. (t.gc_mark_word *. float_of_int c.Beltway.Gc_stats.marked_words)
+  +. (t.gc_sweep_word *. float_of_int c.Beltway.Gc_stats.swept_words)
+  +. (t.gc_move_word *. float_of_int c.Beltway.Gc_stats.moved_words)
 
 let gc_time t (s : Beltway.Gc_stats.t) =
   Beltway_util.Vec.fold (fun acc c -> acc +. collection_time t c) 0.0

@@ -27,6 +27,9 @@ type t = {
   gc_scan_slot : float; (** per slot scanned *)
   gc_remset_slot : float; (** per remembered slot processed *)
   gc_free_frame : float; (** per frame released *)
+  gc_mark_word : float; (** per word marked (in-place strategies) *)
+  gc_sweep_word : float; (** per dead word swept into a free list *)
+  gc_move_word : float; (** per word slid by the compactor *)
 }
 
 val default : t

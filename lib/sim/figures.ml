@@ -652,6 +652,105 @@ let policy_zoo ~full =
     ~full
     ~metrics:[ ("GC time", gc_time); ("total time", total_time) ]
 
+let strategies ~full =
+  ignore full;
+  (* Copying vs in-place reclamation under one policy (25.25.100): the
+     evacuation bill is proportional to survivors and pays a copy
+     reserve; marking is proportional to the live set plus a sweep or
+     slide over the plan, and uses the whole heap. The per-benchmark
+     tables locate where each regime wins; the final table names the
+     cheapest strategy per (benchmark, heap size) cell — the crossover
+     in tabular form. *)
+  let base = "25.25.100" in
+  let strat_cfgs =
+    List.map
+      (fun (i : Strategy.info) ->
+        ( i.Strategy.key,
+          if i.Strategy.key = Strategy.default_name then cfg base
+          else cfg (base ^ "+strategy:" ^ i.Strategy.key) ))
+      Strategy.infos
+  in
+  let names = List.map fst strat_cfgs in
+  let benches = [ Spec.jess; Spec.javac; Spec.raytrace ] in
+  let mults = [ 1.0; 1.25; 1.5; 2.0; 2.5; 3.0 ] in
+  Runner.prewarm_min_heaps benches;
+  let at b m =
+    max 4
+      (int_of_float (Float.round (float_of_int (Runner.min_heap_frames b) *. m)))
+  in
+  prewarm
+    (List.concat_map
+       (fun b ->
+         List.concat_map
+           (fun m -> List.map (fun (_, c) -> (b, c, at b m)) strat_cfgs)
+           mults)
+       benches);
+  List.iter
+    (fun b ->
+      let cols =
+        List.map
+          (fun (_, c) ->
+            List.map (fun m -> cell ~bench:b ~config:c ~heap_frames:(at b m)) mults)
+          strat_cfgs
+      in
+      let best =
+        match List.concat_map (List.filter_map (Option.map total_time)) cols with
+        | [] -> 1.0
+        | l -> SM.min_l l
+      in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Strategies (%s): total time relative to best, %% of time in GC in \
+                parentheses (min heap %dKB)"
+               b.Spec.name
+               (kb (Runner.min_heap_frames b)))
+          ~columns:("heap/min" :: names)
+      in
+      List.iteri
+        (fun i m ->
+          Table.add_row t
+            (mult_label m
+            :: List.map
+                 (fun col ->
+                   match List.nth col i with
+                   | Some r ->
+                     Printf.sprintf "%.3f (%.1f%%)" (total_time r /. best)
+                       (100.0 *. r.Runner.gc_time /. r.Runner.total_time)
+                   | None -> "-")
+                 cols))
+        mults;
+      print_table t)
+    benches;
+  let t =
+    Table.create
+      ~title:"Strategy crossover: cheapest strategy per (benchmark, heap size)"
+      ~columns:("heap/min" :: List.map (fun b -> b.Spec.name) benches)
+  in
+  List.iter
+    (fun m ->
+      Table.add_row t
+        (mult_label m
+        :: List.map
+             (fun b ->
+               let winner =
+                 List.fold_left
+                   (fun acc (name, c) ->
+                     match cell ~bench:b ~config:c ~heap_frames:(at b m) with
+                     | None -> acc
+                     | Some r -> (
+                       let time = total_time r in
+                       match acc with
+                       | Some (_, best) when best <= time -> acc
+                       | _ -> Some (name, time)))
+                   None strat_cfgs
+               in
+               match winner with Some (name, _) -> name | None -> "-")
+             benches))
+    mults;
+  print_table t
+
 let all_ids =
   [
     "table1"; "fig1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
@@ -676,6 +775,7 @@ let run ~id ~full =
   (* not listed in all_ids (keeps the paper-ordered registry stable);
      reachable by explicit id *)
   | "policies" -> policy_zoo ~full
+  | "strategies" -> strategies ~full
   | _ ->
     invalid_arg
       (Printf.sprintf "Figures.run: unknown id %S (expected one of: %s)" id

@@ -76,12 +76,18 @@ val policy_zoo : full:bool -> unit
 (** Every registered collector policy under its exemplar
     configuration (geometric means). Driven off [Policy.registry]. *)
 
+val strategies : full:bool -> unit
+(** Copying vs in-place reclamation ([Strategy.registry]) under one
+    policy across the heap ladder, with a crossover table naming the
+    cheapest strategy per (benchmark, heap size). *)
+
 val all_ids : string list
 (** In paper order: table1, fig1, fig5..fig11, plus [ablate], [xy],
     [interp] and [sensitivity]. *)
 
 val run : id:string -> full:bool -> unit
-(** Dispatch by id; also accepts the unlisted [policies] id
-    ({!policy_zoo}). @raise Invalid_argument on an unknown id. *)
+(** Dispatch by id; also accepts the unlisted [policies]
+    ({!policy_zoo}) and [strategies] ({!strategies}) ids.
+    @raise Invalid_argument on an unknown id. *)
 
 val run_all : full:bool -> unit

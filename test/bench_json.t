@@ -65,3 +65,19 @@ Older schema versions are accepted without the newer sections.
   $ echo '{"schema": "beltway-bench/3", "micro": [], "phases": []}' > v3.json
   $ beltway-bench --validate v3.json
   v3.json: ok
+
+Since beltway-bench/6, every micro entry is also keyed by the
+reclamation strategy it ran under; a v6 file without the field is
+rejected, while the pre-v6 schemas stay accepted without it.
+
+  $ echo '{"schema": "beltway-bench/6", "micro": [{"name": "x", "policy": "beltway", "ns_per_run": 1}], "phases": [], "host": {"recommended_domain_count": 8}, "interpreter": [], "baseline": {"micro_max_ratio": 1.3, "phases_max_ratio": 1.5, "interpreter_min_ratio": 0.9}}' > nostrategy.json
+  $ beltway-bench --validate nostrategy.json
+  nostrategy.json: entry missing string field "strategy"
+  [1]
+
+The repository checks in the results of a real run of this harness;
+that file must always validate against the checked-in binary's own
+schema checker, so the two cannot drift apart unnoticed.
+
+  $ beltway-bench --validate ../BENCH_results.json
+  ../BENCH_results.json: ok

@@ -5,6 +5,7 @@ let () =
       ("heap", Test_heap.suite);
       ("config", Test_config.suite);
       ("policy", Test_policy.suite);
+      ("strategy", Test_strategy.suite);
       ("core", Test_core.suite);
       ("frame table", Test_frame_table.suite);
       ("schedule", Test_schedule.suite);

@@ -41,7 +41,10 @@ let test_fault_messages () =
   expect Faults.Dropped_remset "stale reference";
   expect Faults.Corrupted_header "corrupted header";
   expect Faults.Premature_free "lost object";
-  expect Faults.Undersized_reserve "frame accounting drift"
+  expect Faults.Undersized_reserve "frame accounting drift";
+  expect Faults.Racy_forwarding "stale reference";
+  expect Faults.Dropped_mark "clobbered";
+  expect Faults.Misthreaded_compact "stale reference"
 
 (* --- clean runs: no false positives ------------------------------- *)
 

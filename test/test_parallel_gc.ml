@@ -155,8 +155,63 @@ let test_torture domains () =
         [ "25.25.100"; "appel+cards" ])
     Torture.all
 
+(* Non-moving strategies have no per-domain reserve chunks to shard
+   over, so asking them to parallelise must be a clean, early, tested
+   error — from [Strategy.check_domains], [Gc.create] and
+   [Gc.set_gc_domains] alike — while 1 domain remains fine. *)
+let test_strategy_rejection () =
+  List.iter
+    (fun strat ->
+      let config_s = "25.25.100+strategy:" ^ strat in
+      let config = Result.get_ok (Config.parse config_s) in
+      let expected =
+        Printf.sprintf
+          "strategy %s does not support a parallel drain (--gc-domains 2); \
+           use --gc-domains 1 or the copying strategy"
+          strat
+      in
+      (match Beltway.Strategy.resolve config with
+      | Error e -> Alcotest.failf "%s: did not resolve: %s" config_s e
+      | Ok s -> (
+        match Beltway.Strategy.check_domains s ~gc_domains:2 with
+        | Ok () -> Alcotest.failf "%s accepted 2 domains" config_s
+        | Error e ->
+          Alcotest.(check string)
+            (config_s ^ ": check_domains names the fix")
+            expected e));
+      (match
+         Gc.create ~frame_log_words:8 ~gc_domains:2 ~config
+           ~heap_bytes:(256 * 1024) ()
+       with
+      | exception Invalid_argument e ->
+        Alcotest.(check string)
+          (config_s ^ ": Gc.create rejects 2 domains")
+          ("Gc.create: " ^ expected) e
+      | _ -> Alcotest.failf "Gc.create accepted %s at 2 domains" config_s);
+      (* 1 domain (explicit or defaulted) must still work... *)
+      let gc =
+        Gc.create ~frame_log_words:8 ~gc_domains:1 ~config
+          ~heap_bytes:(256 * 1024) ()
+      in
+      (* ...and a later escalation is rejected without wedging the heap. *)
+      (match Gc.set_gc_domains gc 4 with
+      | exception Invalid_argument e ->
+        checkb
+          (config_s ^ ": set_gc_domains names the strategy")
+          true
+          (String.length e > String.length "Gc.set_gc_domains: "
+          && String.sub e 0 19 = "Gc.set_gc_domains: ")
+      | () -> Alcotest.failf "set_gc_domains accepted %s at 4 domains" config_s);
+      checki (config_s ^ ": heap stays sequential") 1 (Gc.gc_domains gc);
+      let ty = Gc.register_type gc ~name:"parallel.reject" in
+      ignore (Gc.alloc gc ~ty ~nfields:2);
+      Gc.full_collect gc)
+    [ "marksweep"; "markcompact" ]
+
 let suite =
   ("1 domain is the sequential collector", `Quick, test_one_domain_identity)
+  :: ("non-moving strategies reject a parallel drain", `Quick,
+      test_strategy_rejection)
   :: List.map
        (fun cs -> ("oracle equivalence " ^ cs, `Slow, test_equivalence cs))
        configs

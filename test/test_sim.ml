@@ -34,6 +34,10 @@ let stats_with ~words collections =
           scanned_slots = 0;
           remset_slots = 0;
           roots_scanned = 0;
+          marked_objects = 0;
+          marked_words = 0;
+          swept_words = 0;
+          moved_words = 0;
           freed_frames = 1;
           heap_frames_after = 1;
           reserve_frames = 1;
@@ -56,6 +60,9 @@ let unit_model =
     gc_scan_slot = 0.0;
     gc_remset_slot = 0.0;
     gc_free_frame = 0.0;
+    gc_mark_word = 0.0;
+    gc_sweep_word = 0.0;
+    gc_move_word = 0.0;
   }
 
 let test_cost_model_arithmetic () =
